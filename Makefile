@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench warm examples clean-cache loc
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench: warm
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+warm:
+	$(PYTHON) benchmarks/warm_cache.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/run_custom_program.py
+	$(PYTHON) examples/opposite_trends.py
+	$(PYTHON) examples/hardening_case_study.py
+	$(PYTHON) examples/microarchitecture_sweep.py
+
+clean-cache:
+	rm -rf .repro-cache tests/.test-cache benchmarks/out
+
+loc:
+	find src tests benchmarks examples -name "*.py" | xargs wc -l | tail -1

@@ -1,0 +1,47 @@
+"""Ablation — size-weighted AVF vs naive arithmetic mean.
+
+The paper weights per-structure AVFs by bit counts (equivalent to FIT
+summation); a naive arithmetic mean over structures gives the tiny RF
+the same voice as the 2 MiB L2 and distorts both magnitudes and
+orderings.  This bench quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once, study_for
+from repro.core.compare import count_opposite_pairs
+from repro.core.report import render_table
+from repro.uarch.config import STRUCTURES
+
+
+def _build():
+    study = study_for("cortex-a72")
+    weighted, mean = {}, {}
+    rows = []
+    for workload in study.workloads:
+        campaigns = study.avf_campaigns(workload)
+        weighted[workload] = study.weighted_avf(workload).total
+        mean[workload] = sum(c.vulnerability()
+                             for c in campaigns.values()) \
+            / len(STRUCTURES)
+        rows.append([workload, f"{weighted[workload] * 100:.4f}%",
+                     f"{mean[workload] * 100:.4f}%",
+                     f"{mean[workload] / max(weighted[workload], 1e-9):.1f}x"])
+    return rows, weighted, mean
+
+
+def test_ablation_weighting(benchmark):
+    rows, weighted, mean = run_once(benchmark, _build)
+    flips = count_opposite_pairs(weighted, mean)
+    text = render_table(
+        ["workload", "size-weighted AVF", "arithmetic mean",
+         "mean/weighted"], rows,
+        title="Ablation: structure-size weighting vs arithmetic mean")
+    text += f"\n\nordering flips between the two aggregations: {flips}"
+    emit("ablation_weighting", text)
+
+    # the naive mean systematically overstates the chip-level AVF
+    # (small, high-AVF structures get outsized weight)
+    overstated = sum(1 for w in weighted
+                     if mean[w] > weighted[w])
+    assert overstated >= 7

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.study import CrossLayerStudy, StudyScale
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: the workload subset of the cross-microarchitecture rPVF figure
+FIG8_WORKLOADS = ("fft", "qsort", "sha", "djpeg")
+
+
+def scale() -> StudyScale:
+    return StudyScale.from_env()
+
+
+_STUDIES: dict = {}
+
+
+def study_for(config_name: str, workloads=None,
+              hardened: bool = False) -> CrossLayerStudy:
+    """Memoised CrossLayerStudy per (config, workloads, hardened)."""
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    workloads = tuple(workloads or WORKLOAD_NAMES)
+    key = (config_name, workloads, hardened)
+    if key not in _STUDIES:
+        _STUDIES[key] = CrossLayerStudy(workloads, config_name, scale(),
+                                        hardened=hardened)
+    return _STUDIES[key]
+
+
+def emit(name: str, text: str) -> str:
+    """Print a rendered table/figure and persist it under out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Campaigns are deterministic and disk-cached; repeating them would
+    only measure the cache.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

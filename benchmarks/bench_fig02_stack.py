@@ -1,0 +1,49 @@
+"""Fig. 2 — the system vulnerability stack, measured.
+
+The paper's Fig. 2 is conceptual (layer diagram).  This bench makes it
+quantitative: for each structure of one workload it decomposes the
+measured campaign into the per-layer factors (HVF, software reach,
+software masking) and shows the ESC leakage term — the part of the
+AVF the layered composition cannot express.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once, study_for
+from repro.core.report import render_table
+from repro.core.stack import decompose
+
+WORKLOAD = "sha"
+
+
+def _build():
+    study = study_for("cortex-a72")
+    campaigns = study.avf_campaigns(WORKLOAD)
+    rows = []
+    decomps = {}
+    for structure, campaign in campaigns.items():
+        d = decompose(campaign)
+        decomps[structure] = d
+        rows.append([structure,
+                     f"{d.hvf * 100:.3f}%",
+                     f"{d.reach_software * 100:.3f}%",
+                     f"{d.software_masking * 100:.1f}%",
+                     f"{d.avf * 100:.3f}%",
+                     f"{d.layered_estimate * 100:.3f}%",
+                     f"{d.esc_rate * 100:.3f}%"])
+    return rows, decomps
+
+
+def test_fig02_stack_decomposition(benchmark):
+    rows, decomps = run_once(benchmark, _build)
+    emit("fig02_stack", render_table(
+        ["structure", "HVF", "reach sw", "sw masking", "AVF",
+         "layered est.", "ESC"],
+        rows,
+        title=f"Fig 2 (quantified): vulnerability-stack factors, "
+              f"{WORKLOAD} on cortex-a72"))
+    for structure, d in decomps.items():
+        assert d.hvf >= d.avf - 1e-9, structure
+        assert 0.0 <= d.software_masking <= 1.0
+    # at least one structure exposes faults to the software layer
+    assert any(d.reach_software > 0 for d in decomps.values())

@@ -1,0 +1,58 @@
+"""Fig. 4 — total vulnerability: PVF & SVF vs the weighted AVF.
+
+The paper's central figure: per benchmark, the architecture-level PVF
+and software-level SVF estimates with their SDC/Crash split, against
+the size-weighted cross-layer AVF.  The shape relations asserted:
+
+* the scales differ by orders of magnitude (separate y-axes),
+* SDC dominates the software-layer views on most benchmarks,
+* opposite relative-vulnerability pairs exist between the layers.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once, study_for
+from repro.core.compare import count_opposite_pairs
+from repro.core.report import render_stacked
+
+
+def _build():
+    study = study_for("cortex-a72")
+    pvf, svf, avf = {}, {}, {}
+    for workload in study.workloads:
+        pvf[workload] = study.sdc_crash_split("pvf", workload)
+        svf[workload] = study.sdc_crash_split("svf", workload)
+        avf[workload] = study.sdc_crash_split("avf", workload)
+    return pvf, svf, avf
+
+
+def test_fig04_avf_pvf_svf(benchmark):
+    pvf, svf, avf = run_once(benchmark, _build)
+    text = "\n\n".join([
+        render_stacked(pvf, title="Fig 4a: PVF (architecture level), "
+                                  "s=SDC C=Crash"),
+        render_stacked(svf, title="Fig 4b: SVF (software level, LLFI "
+                                  "model)"),
+        render_stacked(avf, title="Fig 4c: cross-layer AVF "
+                                  "(size-weighted over 5 structures)"),
+    ])
+    totals = {name: {w: sum(v) for w, v in data.items()}
+              for name, data in (("pvf", pvf), ("svf", svf),
+                                 ("avf", avf))}
+    flips_pvf = count_opposite_pairs(totals["pvf"], totals["avf"])
+    flips_svf = count_opposite_pairs(totals["svf"], totals["avf"])
+    text += (f"\n\nopposite pairs PVF vs AVF: {flips_pvf}/45"
+             f"\nopposite pairs SVF vs AVF: {flips_svf}/45")
+    emit("fig04_avf_pvf_svf", text)
+
+    # scale separation between the layers (the figure's two y-axes)
+    mean_svf = sum(totals["svf"].values()) / len(totals["svf"])
+    mean_avf = sum(totals["avf"].values()) / len(totals["avf"])
+    assert mean_svf > 5 * mean_avf
+
+    # SDC dominates the software-layer view for most benchmarks
+    sdc_dominant = sum(1 for s, c in svf.values() if s > c)
+    assert sdc_dominant >= 6
+
+    # the paper's pitfall: opposite orderings exist
+    assert flips_pvf + flips_svf > 0

@@ -1,0 +1,56 @@
+"""Fig. 5 — HVF per structure, split by Fault Propagation Model.
+
+The paper shows, for Cortex-A9 and Cortex-A15, how each structure's
+HVF decomposes into WD / WI / WOI (+ESC): the register file and L1D
+deliver almost exclusively Wrong Data, while the L1I (and the unified
+L2's code lines) deliver Wrong Instruction / Wrong Operand — the
+classes typical PVF/SVF analyses cannot model at all.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once, study_for
+from repro.core.report import render_table
+
+CONFIGS = ("cortex-a9", "cortex-a15")
+STRUCTURES = ("RF", "L1I", "L1D", "L2")
+
+
+def _build():
+    rows = []
+    aggregates = {}
+    for config_name in CONFIGS:
+        study = study_for(config_name)
+        for structure in STRUCTURES:
+            sums = {"WD": 0.0, "WI": 0.0, "WOI": 0.0, "ESC": 0.0,
+                    "hvf": 0.0}
+            for workload in study.workloads:
+                campaign = study.avf_campaigns(workload)[structure]
+                sums["hvf"] += campaign.hvf()
+                for fpm, rate in campaign.fpm_rates().items():
+                    sums[fpm] += rate
+            n = len(study.workloads)
+            aggregates[(config_name, structure)] = \
+                {k: v / n for k, v in sums.items()}
+            rows.append([config_name, structure,
+                         *(f"{sums[k] / n * 100:.3f}%"
+                           for k in ("hvf", "WD", "WI", "WOI", "ESC"))])
+    return rows, aggregates
+
+
+def test_fig05_hvf_per_structure_fpm(benchmark):
+    rows, agg = run_once(benchmark, _build)
+    emit("fig05_hvf_fpm", render_table(
+        ["core", "structure", "HVF", "WD", "WI", "WOI", "ESC"], rows,
+        title="Fig 5: HVF split by FPM (suite mean per structure)"))
+
+    for config_name in CONFIGS:
+        # WD dominates the software-visible classes for RF and L1D
+        for structure in ("RF", "L1D"):
+            a = agg[(config_name, structure)]
+            assert a["WD"] >= a["WI"] and a["WD"] >= a["WOI"], \
+                (config_name, structure)
+        # the L1I delivers wrong-instruction/operand faults that
+        # WD-only analyses ignore entirely
+        l1i = agg[(config_name, "L1I")]
+        assert l1i["WI"] + l1i["WOI"] > 0

@@ -1,0 +1,55 @@
+"""Fig. 7 — PVF per Fault Propagation Model (WD, WOI, WI).
+
+Architecture-level vulnerability measured separately under each fault
+model.  The paper's shape: WD has the largest variability across
+workloads and leads mostly to SDCs; WOI and especially WI are more
+uniform and crash-heavy — which is exactly what typical (WD-only) PVF
+estimation leaves out.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once, study_for
+from repro.core.report import render_table
+
+MODELS = ("WD", "WOI", "WI")
+
+
+def _build():
+    study = study_for("cortex-a72")
+    rows = []
+    per_model = {model: {} for model in MODELS}
+    for workload in study.workloads:
+        row = [workload]
+        for model in MODELS:
+            campaign = study.pvf_campaign(workload, model)
+            per_model[model][workload] = (campaign.sdc(),
+                                          campaign.crash())
+            row += [f"{campaign.sdc() * 100:.1f}%",
+                    f"{campaign.crash() * 100:.1f}%"]
+        rows.append(row)
+    return rows, per_model
+
+
+def test_fig07_pvf_per_fpm(benchmark):
+    rows, per_model = run_once(benchmark, _build)
+    emit("fig07_pvf_per_fpm", render_table(
+        ["workload", "WD sdc", "WD crash", "WOI sdc", "WOI crash",
+         "WI sdc", "WI crash"], rows,
+        title="Fig 7: PVF per fault propagation model (cortex-a72)"))
+
+    def crash_share(model):
+        sdc = sum(s for s, _ in per_model[model].values())
+        crash = sum(c for _, c in per_model[model].values())
+        return crash / max(sdc + crash, 1e-9)
+
+    # WOI and WI are crash-heavy relative to WD (paper Fig. 7)
+    assert crash_share("WI") > crash_share("WD")
+    assert crash_share("WOI") > crash_share("WD")
+
+    def spread(model):
+        totals = [s + c for s, c in per_model[model].values()]
+        return max(totals) - min(totals)
+
+    # WD shows the largest variability across workloads
+    assert spread("WD") >= max(spread("WOI"), spread("WI")) * 0.5

@@ -1,0 +1,62 @@
+"""Fig. 8 — rPVF (FPM-weighted PVF) vs the cross-layer AVF, all cores.
+
+The paper's refinement test: even after weighting per-FPM PVF by the
+HVF-measured FPM distribution, the refined estimate stays nearly flat
+across microarchitectures, while the actual AVF differs per core —
+the architecture layer cannot absorb the microarchitecture dependence.
+"""
+
+from __future__ import annotations
+
+from bench_common import FIG8_WORKLOADS, emit, run_once, study_for
+from repro.core.report import render_table
+from repro.uarch.config import ALL_CONFIGS
+
+
+def _build():
+    rpvf = {}   # (workload, config) -> (total, sdc, crash)
+    avf = {}
+    for config in ALL_CONFIGS:
+        study = study_for(config.name, FIG8_WORKLOADS)
+        for workload in FIG8_WORKLOADS:
+            refined = study.rpvf(workload)
+            rpvf[(workload, config.name)] = (refined.total,
+                                             refined.sdc, refined.crash)
+            weighted = study.weighted_avf(workload)
+            avf[(workload, config.name)] = (weighted.total,
+                                            weighted.sdc, weighted.crash)
+    return rpvf, avf
+
+
+def _spread(values):
+    return (max(values) - min(values)) / max(max(values), 1e-9)
+
+
+def test_fig08_rpvf_vs_avf(benchmark):
+    rpvf, avf = run_once(benchmark, _build)
+    rows = []
+    for workload in FIG8_WORKLOADS:
+        for config in ALL_CONFIGS:
+            r = rpvf[(workload, config.name)]
+            a = avf[(workload, config.name)]
+            rows.append([workload, config.name,
+                         f"{r[0] * 100:.2f}%", f"{r[1] * 100:.2f}%",
+                         f"{r[2] * 100:.2f}%",
+                         f"{a[0] * 100:.4f}%", f"{a[1] * 100:.4f}%",
+                         f"{a[2] * 100:.4f}%"])
+    emit("fig08_rpvf_vs_avf", render_table(
+        ["workload", "core", "rPVF", "rPVF sdc", "rPVF crash",
+         "AVF", "AVF sdc", "AVF crash"], rows,
+        title="Fig 8: refined PVF vs cross-layer AVF across "
+              "microarchitectures"))
+
+    # rPVF varies far less across cores than the true AVF does
+    flatter = 0
+    for workload in FIG8_WORKLOADS:
+        rpvf_totals = [rpvf[(workload, c.name)][0] for c in ALL_CONFIGS]
+        avf_totals = [avf[(workload, c.name)][0] for c in ALL_CONFIGS]
+        if max(avf_totals) <= 0:
+            continue
+        if _spread(rpvf_totals) < _spread(avf_totals):
+            flatter += 1
+    assert flatter >= len(FIG8_WORKLOADS) // 2

@@ -1,0 +1,49 @@
+"""Fig. 11 — the fault-tolerance case study on smooth.
+
+Same panels as Fig. 10 for the second case-study workload (the paper
+measures a 10% AVF increase and 2.5x slowdown for smooth, against a
+3.4x PVF/SVF reduction).
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once, scale
+from repro.core.casestudy import run_case_study
+from repro.core.report import render_table
+
+WORKLOAD = "smooth"
+
+
+def _build():
+    return run_case_study(WORKLOAD, "cortex-a72", scale())
+
+
+def test_fig11_casestudy_smooth(benchmark):
+    result = run_once(benchmark, _build)
+    rows = [[s, f"{p.unprotected * 100:.4f}%",
+             f"{p.protected * 100:.4f}%"]
+            for s, p in result.per_structure.items()]
+    text = render_table(
+        ["structure", "AVF w/o", "AVF w/"], rows,
+        title=f"Fig 11a: per-structure AVF, {WORKLOAD} (cortex-a72)")
+    text += "\n\n" + render_table(
+        ["layer", "w/o", "w/", "verdict"],
+        [["AVF (weighted)", f"{result.avf.unprotected * 100:.4f}%",
+          f"{result.avf.protected * 100:.4f}%",
+          f"{result.avf.change * 100:+.0f}%"],
+         ["PVF", f"{result.pvf.unprotected * 100:.2f}%",
+          f"{result.pvf.protected * 100:.2f}%",
+          f"{result.pvf.reduction:.1f}x reduction"],
+         ["SVF", f"{result.svf.unprotected * 100:.2f}%",
+          f"{result.svf.protected * 100:.2f}%",
+          f"{result.svf.reduction:.1f}x reduction"]],
+        title="Fig 11b-d: weighted AVF / PVF / SVF")
+    text += (f"\n\nslowdown of the hardened binary: "
+             f"{result.slowdown:.2f}x (paper: 2.5x)"
+             f"\n{result.headline()}")
+    emit("fig11_casestudy_smooth", text)
+
+    assert 1.8 < result.slowdown < 6.5
+    assert result.svf.reduction > 2.0
+    assert result.pvf.reduction > 0.8
+    assert result.avf.reduction < result.svf.reduction

@@ -1,0 +1,73 @@
+"""Simulator throughput benchmarks (proper pytest-benchmark timing).
+
+Unlike the figure benches (which run deterministic campaigns once),
+these measure the substrate's raw speed: assembler throughput,
+functional simulation rate, out-of-order pipeline rate and a single
+end-to-end injection run.  Useful for tracking performance regressions
+of the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.fault import FaultSpec
+from repro.isa.assembler import assemble
+from repro.isa.registers import MR64
+from repro.kernel.loader import build_system_image
+from repro.uarch.config import CORTEX_A72
+from repro.uarch.functional import FunctionalEngine
+from repro.uarch.pipeline import PipelineEngine
+from repro.workloads.suite import workload_spec
+
+
+@pytest.fixture(scope="module")
+def sha_source():
+    return workload_spec("sha").source
+
+
+@pytest.fixture(scope="module")
+def sha_program():
+    from repro.workloads.suite import load_workload
+
+    return load_workload("sha", MR64)
+
+
+def test_perf_assembler(benchmark, sha_source):
+    program = benchmark(assemble, sha_source, MR64)
+    assert program.instruction_count() > 100
+
+
+def test_perf_functional_engine(benchmark, sha_program):
+    def run():
+        engine = FunctionalEngine(build_system_image(sha_program),
+                                  kernel="sim")
+        return engine.run()
+
+    result = benchmark(run)
+    assert result.status.value == "completed"
+
+
+def test_perf_pipeline_engine(benchmark, sha_program):
+    def run():
+        engine = PipelineEngine(build_system_image(sha_program),
+                                CORTEX_A72)
+        return engine.run()
+
+    result = benchmark(run)
+    assert result.status.value == "completed"
+    assert result.cycles > 0
+
+
+def test_perf_single_injection(benchmark, sha_program):
+    spec = FaultSpec("RF", 500.0, a=40, b=5, prefer_live=True)
+
+    def run():
+        engine = PipelineEngine(build_system_image(sha_program),
+                                CORTEX_A72, faults=[spec],
+                                max_instructions=100_000,
+                                max_cycles=200_000.0)
+        return engine.run()
+
+    result = benchmark(run)
+    assert result.fault_applied

@@ -1,0 +1,44 @@
+"""§III.C — statistical fault sampling (Leveugle et al. formulation).
+
+Regenerates the paper's quoted statistics: 2,000 samples per
+(structure, workload, core) give a 2.88% margin of error at 99%
+confidence, and shows the margin/sample-size trade-off table that
+governs campaign sizing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import emit, run_once
+from repro.core.report import render_table
+from repro.faults.sampling import margin_of_error, samples_for_margin
+
+
+def _build():
+    rows = []
+    for n in (100, 500, 1000, 2000, 5000, 10000):
+        rows.append([n,
+                     f"{margin_of_error(n, confidence=0.90) * 100:.2f}%",
+                     f"{margin_of_error(n, confidence=0.95) * 100:.2f}%",
+                     f"{margin_of_error(n, confidence=0.99) * 100:.2f}%"])
+    inverse = [[f"{m * 100:.1f}%",
+                samples_for_margin(m, confidence=0.99)]
+               for m in (0.05, 0.0288, 0.02, 0.01)]
+    return rows, inverse
+
+
+def test_stats_margins(benchmark):
+    rows, inverse = run_once(benchmark, _build)
+    text = render_table(
+        ["samples", "margin @90%", "margin @95%", "margin @99%"], rows,
+        title="Sampling statistics (worst case p=0.5)")
+    text += "\n\n" + render_table(
+        ["target margin @99%", "samples needed"], inverse,
+        title="Inverse: campaign sizing")
+    emit("stats_margins", text)
+
+    # the paper's quoted numbers
+    assert margin_of_error(2000, confidence=0.99) == \
+        pytest.approx(0.0288, abs=2e-4)
+    assert abs(samples_for_margin(0.0288, confidence=0.99) - 2000) <= 5

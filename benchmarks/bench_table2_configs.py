@@ -1,0 +1,51 @@
+"""Table II — simulated hardware parameters of the four cores.
+
+Regenerates the configuration table and verifies the cross-core
+relations the paper's analysis relies on (L2 sizes 512K/1M/1M/2M,
+deeper frontends on the big cores, ISA split).
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, run_once
+from repro.core.report import render_table
+from repro.uarch.config import ALL_CONFIGS, STRUCTURES
+
+
+def _build():
+    rows = []
+    for config in ALL_CONFIGS:
+        rows.append([
+            config.name, config.isa,
+            config.frontend_depth,
+            f"{config.l1i.size // 1024}K/{config.l1d.size // 1024}K",
+            f"{config.l2.size // 1024}K",
+            config.rob_size,
+            f"{config.n_phys_regs}x{config.xlen}b",
+            f"{config.lsq_size}x{config.lsq_entry_bits}b",
+            config.iq_size,
+            f"{config.total_bits() // 8 // 1024}KiB",
+        ])
+    return rows
+
+
+def test_table2_configs(benchmark):
+    rows = run_once(benchmark, _build)
+    emit("table2_configs", render_table(
+        ["core", "ISA", "stages", "L1 I/D", "L2", "ROB", "phys RF",
+         "LSQ", "IQ", "fault bits"], rows,
+        title="Table II: simulated hardware parameters"))
+
+    by_name = {c.name: c for c in ALL_CONFIGS}
+    a9, a15 = by_name["cortex-a9"], by_name["cortex-a15"]
+    a57, a72 = by_name["cortex-a57"], by_name["cortex-a72"]
+    # the relations the paper's Table II encodes
+    assert a9.isa == a15.isa == "mrisc32"
+    assert a57.isa == a72.isa == "mrisc64"
+    assert a9.frontend_depth < a15.frontend_depth
+    assert a9.l2.size < a15.l2.size <= a72.l2.size
+    assert a72.l2.size == 2 * a57.l2.size
+    for config in ALL_CONFIGS:
+        # the L2 dominates the SRAM bit budget on every core
+        weights = config.structure_weights()
+        assert weights["L2"] == max(weights[s] for s in STRUCTURES)

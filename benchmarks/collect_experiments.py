@@ -1,0 +1,45 @@
+"""Append the recorded bench outputs to EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``: replaces everything
+below the ``<!-- MEASURED-OUTPUTS -->`` marker with the contents of
+``benchmarks/out/*.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+MARKER = "<!-- MEASURED-OUTPUTS -->"
+
+ORDER = [
+    "table1_fpm_taxonomy", "table2_configs", "fig01_motivation",
+    "fig02_stack", "fig04_avf_pvf_svf", "table3_opposite_pairs",
+    "fig05_hvf_fpm", "fig06_fpm_distribution", "fig07_pvf_per_fpm",
+    "fig08_rpvf_vs_avf", "fig09_crash_sdc", "fig10_casestudy_sha",
+    "fig11_casestudy_smooth", "stats_margins", "ablation_sampling",
+    "ablation_weighting", "ablation_ace", "ablation_hardening_mode",
+    "ablation_fault_models",
+]
+
+
+def main() -> None:
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    head = text.split(MARKER)[0] + MARKER + "\n"
+    parts = [head]
+    out_dir = ROOT / "benchmarks" / "out"
+    for name in ORDER:
+        path = out_dir / f"{name}.txt"
+        if not path.exists():
+            continue
+        parts.append(f"\n### {name}\n\n```\n"
+                     f"{path.read_text().rstrip()}\n```\n")
+    experiments.write_text("".join(parts))
+    print(f"EXPERIMENTS.md updated with "
+          f"{sum(1 for n in ORDER if (out_dir / (n + '.txt')).exists())}"
+          f" recorded outputs")
+
+
+if __name__ == "__main__":
+    main()

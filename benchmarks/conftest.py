@@ -1,0 +1,17 @@
+"""Benchmark-harness configuration.
+
+The benches read their campaigns from the repo-local cache (populated
+by ``python benchmarks/warm_cache.py``; cold runs compute on demand).
+Every bench prints the table/figure it regenerates and also writes it
+under ``benchmarks/out/`` so artefacts survive without ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault(
+    "REPRO_CACHE_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), ".repro-cache"))
+os.environ.setdefault("REPRO_WORKERS", "1")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Opposite vulnerability trends across measurement layers (Fig. 1/4).
+
+Measures a set of workloads through SVF, PVF and the cross-layer AVF
+and lists the benchmark pairs whose *relative* vulnerability ordering
+flips between layers — the paper's headline pitfall: pick the "more
+vulnerable" program by SVF/PVF and you will often protect the wrong
+one.
+
+Run:  python examples/opposite_trends.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CrossLayerStudy, StudyScale, opposite_pairs
+from repro.core.report import render_percent_table
+
+WORKLOADS = ("fft", "qsort", "sha", "crc32", "stringsearch")
+
+
+def main() -> None:
+    scale = StudyScale(n_avf=15, n_pvf=80, n_svf=80, seed=3)
+    study = CrossLayerStudy(WORKLOADS, "cortex-a72", scale)
+
+    avf = study.totals("avf")
+    pvf = study.totals("pvf")
+    svf = study.totals("svf")
+
+    rows = [[w, svf[w], pvf[w], avf[w]] for w in WORKLOADS]
+    print(render_percent_table(
+        ["workload", "SVF", "PVF", "AVF (weighted)"], rows,
+        title="Total vulnerability by measurement layer"))
+
+    for label, higher in (("SVF", svf), ("PVF", pvf)):
+        flips = opposite_pairs(higher, avf, method_a=label,
+                               method_b="AVF")
+        print(f"\n{label} vs AVF: {len(flips)} opposite pair(s) of "
+              f"{len(WORKLOADS) * (len(WORKLOADS) - 1) // 2}")
+        for pair in flips:
+            print(f"  {pair.first} vs {pair.second}: "
+                  f"{label} says {pair.first} is "
+                  f"{'MORE' if pair.value_a_first > pair.value_a_second else 'LESS'}"
+                  f" vulnerable, AVF says the opposite "
+                  f"({pair.value_a_first:.3f}/{pair.value_a_second:.3f} "
+                  f"vs {pair.value_b_first:.5f}/{pair.value_b_second:.5f})")
+
+    effects_avf = study.effects("avf")
+    effects_svf = study.effects("svf")
+    disagreements = [w for w in WORKLOADS
+                     if effects_avf[w] != effects_svf[w]]
+    print(f"\nDominant-effect disagreements (SDC vs Crash): "
+          f"{disagreements or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — cross-layer transient-fault vulnerability analysis.
+
+A production-quality reproduction of *"Demystifying the System
+Vulnerability Stack: Transient Fault Effects Across the Layers"*
+(Papadimitriou & Gizopoulos, ISCA 2021).
+
+The package measures the vulnerability of a simulated full system at
+four abstraction layers and exposes the paper's analyses:
+
+* **AVF** — ground-truth cross-layer vulnerability from
+  microarchitecture-level fault injection (:mod:`repro.injectors.gefin`).
+* **HVF** — hardware vulnerability + Fault Propagation Model breakdown.
+* **PVF** — architecture-level vulnerability (kernel included).
+* **SVF** — LLFI-style software-level vulnerability (user code only).
+* **rPVF** — PVF refined by the HVF-measured FPM distribution.
+
+Quickstart::
+
+    from repro import run_campaign, CORTEX_A72
+    result = run_campaign("sha", CORTEX_A72, injector="gefin",
+                          structure="RF", n=200, seed=1)
+    print(result.avf(), result.summary())
+
+See ``examples/`` for end-to-end studies and ``benchmarks/`` for the
+regeneration of every table and figure in the paper.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# Re-exported lazily-importable names.  Heavy subpackages (uarch,
+# injectors) import numpy etc.; keep the top level cheap but complete.
+from .isa import MR32, MR64, assemble  # noqa: F401
+from .uarch.config import (  # noqa: F401
+    CORTEX_A9,
+    CORTEX_A15,
+    CORTEX_A57,
+    CORTEX_A72,
+    ALL_CONFIGS,
+    MicroarchConfig,
+)
+from .faults.outcomes import Outcome, CrashKind  # noqa: F401
+from .faults.fpm import FPM  # noqa: F401
+from .injectors.campaign import CampaignResult, run_campaign  # noqa: F401
+from .workloads import WORKLOADS, load_workload  # noqa: F401
+from .core.study import CrossLayerStudy  # noqa: F401
+
+__all__ = [
+    "ALL_CONFIGS",
+    "CORTEX_A15",
+    "CORTEX_A57",
+    "CORTEX_A72",
+    "CORTEX_A9",
+    "CampaignResult",
+    "CrashKind",
+    "CrossLayerStudy",
+    "FPM",
+    "MR32",
+    "MR64",
+    "MicroarchConfig",
+    "Outcome",
+    "WORKLOADS",
+    "assemble",
+    "load_workload",
+    "run_campaign",
+    "__version__",
+]

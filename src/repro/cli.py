@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``workloads``
+    List the workload suite with golden statistics.
+``configs``
+    Print the simulated core configurations (Table II).
+``run WORKLOAD``
+    Execute one workload (functionally or on the pipeline) and report
+    output, cycles and cache statistics.
+``disasm WORKLOAD``
+    Disassemble a workload's text section.
+``campaign WORKLOAD``
+    Run one fault-injection campaign and print the classification.
+``study``
+    Cross-layer comparison over a workload set (mini Fig. 4/Table III).
+``casestudy WORKLOAD``
+    The §VI.B hardening case study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.report import render_percent_table, render_table
+
+
+def _cmd_workloads(args) -> int:
+    from .injectors.golden import golden_run
+    from .workloads.suite import WORKLOAD_NAMES, workload_spec
+
+    rows = []
+    for name in WORKLOAD_NAMES:
+        spec = workload_spec(name)
+        if args.golden:
+            golden = golden_run(name, args.config)
+            rows.append([name, spec.description[:44],
+                         golden.instructions,
+                         f"{golden.cycles:.0f}",
+                         f"{100 * golden.kernel_instructions / golden.instructions:.1f}%",
+                         len(golden.output)])
+        else:
+            rows.append([name, spec.description[:44],
+                         f"~{spec.approx_instructions}", "-", "-", "-"])
+    print(render_table(
+        ["workload", "description", "instructions", "cycles",
+         "kernel", "output B"], rows,
+        title=f"workload suite ({args.config})"))
+    return 0
+
+
+def _cmd_configs(_args) -> int:
+    from .uarch.config import ALL_CONFIGS
+
+    rows = [[c.name, c.isa, c.frontend_depth, c.rob_size,
+             c.n_phys_regs, c.lsq_size,
+             f"{c.l1i.size // 1024}K/{c.l1d.size // 1024}K",
+             f"{c.l2.size // 1024}K"]
+            for c in ALL_CONFIGS]
+    print(render_table(
+        ["core", "ISA", "stages", "ROB", "phys RF", "LSQ", "L1 I/D",
+         "L2"], rows, title="simulated cores (Table II)"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .uarch.config import config_by_name
+    from .uarch.functional import run_functional
+    from .uarch.pipeline import run_pipeline
+    from .workloads.suite import load_workload
+
+    config = config_by_name(args.config)
+    program = load_workload(args.workload, config.isa,
+                            hardened=args.hardened)
+    if args.pipeline:
+        result = run_pipeline(program, config, collect_stats=True)
+        print(f"status   : {result.status.value}")
+        print(f"cycles   : {result.cycles:.0f} "
+              f"(IPC {result.instructions / result.cycles:.2f})")
+        print(f"instrs   : {result.instructions} "
+              f"({result.kernel_instructions} kernel)")
+        print(f"output   : {len(result.output)} bytes, "
+              f"exit {result.exit_code}")
+        for name in ("l1i", "l1d", "l2"):
+            stats = result.stats[name]
+            print(f"{name:8s} : {stats['hits']} hits, "
+                  f"{stats['misses']} misses, "
+                  f"{stats['writebacks']} writebacks")
+        branch = result.stats["branch"]
+        print(f"branch   : {branch['mispredicts']}/{branch['lookups']} "
+              f"mispredicted")
+    else:
+        result = run_functional(program, kernel=args.kernel)
+        print(f"status   : {result.status.value}")
+        print(f"instrs   : {result.instructions}")
+        print(f"output   : {len(result.output)} bytes, "
+              f"exit {result.exit_code}")
+    if args.hexdump:
+        print(f"\n{result.output.hex()}")
+    return 0 if result.status.value == "completed" else 1
+
+
+def _cmd_disasm(args) -> int:
+    from .isa.disassembler import disassemble_range
+    from .uarch.config import config_by_name
+    from .workloads.suite import load_workload
+
+    config = config_by_name(args.config)
+    program = load_workload(args.workload, config.isa,
+                            hardened=args.hardened)
+    print(disassemble_range(bytes(program.text.data),
+                            program.text.base, program.regs))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .injectors.campaign import run_campaign
+
+    campaign = run_campaign(
+        args.workload, args.config, injector=args.injector,
+        structure=args.structure, model=args.model, n=args.n,
+        seed=args.seed, hardened=args.hardened,
+        use_cache=not args.no_cache)
+    print(campaign.summary())
+    if args.injector == "gefin":
+        print(f"HVF      : {campaign.hvf() * 100:.3f}%")
+        rates = campaign.fpm_rates()
+        print("FPM      : " + ", ".join(f"{k}={v * 100:.3f}%"
+                                        for k, v in rates.items()))
+    kinds = {"process-crash": campaign.crash_kind_rate("process-crash"),
+             "kernel-panic": campaign.crash_kind_rate("kernel-panic"),
+             "hang": campaign.crash_kind_rate("hang")}
+    print("crashes  : " + ", ".join(f"{k}={v * 100:.3f}%"
+                                    for k, v in kinds.items()))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .isa.registers import register_set
+    from .uarch.config import config_by_name
+    from .uarch.trace import trace_program
+    from .workloads.suite import load_workload
+
+    config = config_by_name(args.config)
+    program = load_workload(args.workload, config.isa,
+                            hardened=args.hardened)
+    trace = trace_program(program, start=args.start, count=args.count)
+    print(trace.render(register_set(config.isa)))
+    return 0
+
+
+def _cmd_ace(args) -> int:
+    from .core.ace import ace_analysis, pessimism_vs_injection
+
+    if args.compare:
+        comparison = pessimism_vs_injection(args.workload, args.config,
+                                            n=args.n, seed=args.seed)
+        rows = [[s, f"{ace * 100:.3f}%", f"{inj * 100:.3f}%",
+                 f"{ace / max(inj, 1e-9):.1f}x" if inj > 0 else "inf"]
+                for s, (ace, inj) in comparison.items()]
+        print(render_table(
+            ["structure", "ACE estimate", "injection AVF",
+             "pessimism"], rows,
+            title=f"ACE vs injection: {args.workload} "
+                  f"({args.config})"))
+    else:
+        print(ace_analysis(args.workload, args.config).summary())
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from .core.study import CrossLayerStudy, StudyScale
+    from .core.weighting import fit_rates
+
+    study = CrossLayerStudy([args.workload], args.config,
+                            StudyScale(n_avf=args.n, seed=args.seed))
+    rates = fit_rates(study.avf_campaigns(args.workload), study.config,
+                      fit_per_bit=args.fit_per_bit)
+    rows = [[s, f"{v:.4g}"] for s, v in rates.items()]
+    print(render_table(["structure", "FIT"], rows,
+                       title=f"FIT rates: {args.workload} "
+                             f"({args.config}, "
+                             f"FIT/bit={args.fit_per_bit:g})"))
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from .core.study import CrossLayerStudy, StudyScale
+
+    workloads = args.workloads.split(",")
+    scale = StudyScale(n_avf=args.n_avf, n_pvf=args.n_pvf,
+                       n_svf=args.n_svf, seed=args.seed)
+    study = CrossLayerStudy(workloads, args.config, scale)
+    methods = args.methods.split(",")
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for method in methods:
+            sdc, crash = study.sdc_crash_split(method, workload)
+            row.append(sdc + crash)
+        rows.append(row)
+    print(render_percent_table(["workload", *methods], rows,
+                               title=f"cross-layer study "
+                                     f"({args.config})"))
+    if len(methods) >= 2 and len(workloads) >= 2:
+        for i in range(len(methods) - 1):
+            comparison = study.compare(methods[i], methods[-1])
+            print(f"{comparison.pair_label}: "
+                  f"{comparison.opposite_total}/"
+                  f"{comparison.pairs_considered} opposite pairs, "
+                  f"{comparison.effect_disagreements} effect "
+                  f"disagreements")
+    return 0
+
+
+def _cmd_casestudy(args) -> int:
+    from .core.casestudy import run_case_study
+    from .core.study import StudyScale
+
+    scale = StudyScale(n_avf=args.n_avf, n_pvf=args.n_pvf,
+                       n_svf=args.n_svf, seed=args.seed)
+    result = run_case_study(args.workload, args.config, scale)
+    rows = [["SVF", result.svf.unprotected, result.svf.protected],
+            ["PVF", result.pvf.unprotected, result.pvf.protected],
+            ["AVF", result.avf.unprotected, result.avf.protected]]
+    print(render_percent_table(["layer", "w/o", "w/"], rows,
+                               title=f"case study: {args.workload}"))
+    print(f"\nslowdown: {result.slowdown:.2f}x")
+    print(result.headline())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="cross-layer transient-fault vulnerability "
+                    "analysis (ISCA'21 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, workload=True):
+        if workload:
+            p.add_argument("workload")
+        p.add_argument("--config", default="cortex-a72")
+        p.add_argument("--hardened", action="store_true")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("workloads", help="list the workload suite")
+    p.add_argument("--config", default="cortex-a72")
+    p.add_argument("--golden", action="store_true",
+                   help="include golden-run statistics (slower)")
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("configs", help="print the core configurations")
+    p.set_defaults(func=_cmd_configs)
+
+    p = sub.add_parser("run", help="execute one workload")
+    common(p)
+    p.add_argument("--pipeline", action="store_true",
+                   help="run on the out-of-order timing model")
+    p.add_argument("--kernel", choices=("sim", "host"), default="sim")
+    p.add_argument("--hexdump", action="store_true")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("disasm", help="disassemble a workload")
+    common(p)
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("campaign", help="run a fault-injection campaign")
+    common(p)
+    p.add_argument("--injector", choices=("gefin", "pvf", "svf"),
+                   default="gefin")
+    p.add_argument("--structure", default="RF",
+                   choices=("RF", "LSQ", "L1I", "L1D", "L2"))
+    p.add_argument("--model", default="WD",
+                   choices=("WD", "WOI", "WI"))
+    p.add_argument("-n", type=int, default=100)
+    p.add_argument("--no-cache", action="store_true")
+    p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("trace", help="dynamic instruction trace")
+    common(p)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--count", type=int, default=60)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("ace", help="analytical ACE-lifetime AVF")
+    common(p)
+    p.add_argument("--compare", action="store_true",
+                   help="compare against injection AVF")
+    p.add_argument("-n", type=int, default=30)
+    p.set_defaults(func=_cmd_ace)
+
+    p = sub.add_parser("fit", help="FIT-rate report per structure")
+    common(p)
+    p.add_argument("-n", type=int, default=30)
+    p.add_argument("--fit-per-bit", type=float, default=1.0e-4)
+    p.set_defaults(func=_cmd_fit)
+
+    p = sub.add_parser("study", help="cross-layer comparison")
+    p.add_argument("--workloads", default="sha,qsort,fft,crc32")
+    p.add_argument("--config", default="cortex-a72")
+    p.add_argument("--methods", default="svf,pvf,avf")
+    p.add_argument("--n-avf", type=int, default=20)
+    p.add_argument("--n-pvf", type=int, default=80)
+    p.add_argument("--n-svf", type=int, default=80)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_study)
+
+    p = sub.add_parser("casestudy", help="hardening case study (§VI.B)")
+    common(p)
+    p.add_argument("--n-avf", type=int, default=20)
+    p.add_argument("--n-pvf", type=int, default=80)
+    p.add_argument("--n-svf", type=int, default=80)
+    p.set_defaults(func=_cmd_casestudy)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

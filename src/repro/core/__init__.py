@@ -1,0 +1,74 @@
+"""The paper's primary contribution: cross-layer vulnerability analysis.
+
+* :mod:`~repro.core.study` — campaign orchestration across layers.
+* :mod:`~repro.core.weighting` — size-weighted AVF / FPM / FIT.
+* :mod:`~repro.core.rpvf` — the refined PVF analysis.
+* :mod:`~repro.core.compare` — opposite-trend analyses (Table III).
+* :mod:`~repro.core.stack` — the system vulnerability stack, measured.
+* :mod:`~repro.core.casestudy` — the fault-tolerance case study.
+* :mod:`~repro.core.report` — text rendering of tables and figures.
+"""
+
+from .ace import AceResult, LifetimeTracker, ace_analysis
+from .casestudy import CaseStudyResult, LayerPair, run_case_study
+from .compare import (
+    MethodComparison,
+    PairDisagreement,
+    compare_methods,
+    count_opposite_pairs,
+    effect_disagreements,
+    opposite_pairs,
+    total_pairs,
+)
+from .report import (
+    render_bar_chart,
+    render_percent_table,
+    render_stacked,
+    render_table,
+)
+from .rpvf import RPVFResult, refine_pvf
+from .stack import Layer, StackDecomposition, decompose
+from .study import CrossLayerStudy, StudyScale
+from .weighting import (
+    FIT_PER_BIT,
+    WeightedVulnerability,
+    fit_rates,
+    fpm_distribution,
+    weighted_avf,
+    weighted_fpm_rates,
+    weighted_vulnerability,
+)
+
+__all__ = [
+    "AceResult",
+    "LifetimeTracker",
+    "ace_analysis",
+    "CaseStudyResult",
+    "CrossLayerStudy",
+    "FIT_PER_BIT",
+    "Layer",
+    "LayerPair",
+    "MethodComparison",
+    "PairDisagreement",
+    "RPVFResult",
+    "StackDecomposition",
+    "StudyScale",
+    "WeightedVulnerability",
+    "compare_methods",
+    "count_opposite_pairs",
+    "decompose",
+    "effect_disagreements",
+    "fit_rates",
+    "fpm_distribution",
+    "opposite_pairs",
+    "refine_pvf",
+    "render_bar_chart",
+    "render_percent_table",
+    "render_stacked",
+    "render_table",
+    "run_case_study",
+    "total_pairs",
+    "weighted_avf",
+    "weighted_fpm_rates",
+    "weighted_vulnerability",
+]

@@ -1,0 +1,103 @@
+"""Cross-method comparisons: the paper's 'opposite trends' analyses.
+
+Two methods *disagree on a pair* of benchmarks when they order the
+pair's vulnerabilities oppositely (Table III, 'Total' columns), and
+*disagree on the effect* of a benchmark when they name different
+dominant fault-effect classes — SDC vs Crash (Table III, 'Effect'
+columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+
+@dataclass(frozen=True)
+class PairDisagreement:
+    """One benchmark pair ordered oppositely by two methods."""
+
+    first: str
+    second: str
+    method_a: str
+    value_a_first: float
+    value_a_second: float
+    method_b: str
+    value_b_first: float
+    value_b_second: float
+
+
+def opposite_pairs(values_a: dict, values_b: dict,
+                   method_a: str = "A", method_b: str = "B",
+                   tolerance: float = 0.0) -> list[PairDisagreement]:
+    """Benchmark pairs whose relative order flips between two methods.
+
+    *values_a*/*values_b* map benchmark name -> vulnerability.  Pairs
+    where either method sees a difference within *tolerance* are
+    treated as ties (not disagreements).
+    """
+    names = sorted(set(values_a) & set(values_b))
+    out = []
+    for first, second in combinations(names, 2):
+        diff_a = values_a[first] - values_a[second]
+        diff_b = values_b[first] - values_b[second]
+        if abs(diff_a) <= tolerance or abs(diff_b) <= tolerance:
+            continue
+        if (diff_a > 0) != (diff_b > 0):
+            out.append(PairDisagreement(
+                first, second,
+                method_a, values_a[first], values_a[second],
+                method_b, values_b[first], values_b[second]))
+    return out
+
+
+def count_opposite_pairs(values_a: dict, values_b: dict,
+                         tolerance: float = 0.0) -> int:
+    return len(opposite_pairs(values_a, values_b, tolerance=tolerance))
+
+
+def total_pairs(values_a: dict, values_b: dict) -> int:
+    n = len(set(values_a) & set(values_b))
+    return n * (n - 1) // 2
+
+
+def effect_disagreements(effects_a: dict, effects_b: dict) -> list[str]:
+    """Benchmarks whose dominant fault effect differs between methods.
+
+    *effects_a*/*effects_b* map benchmark -> "sdc" | "crash".
+    """
+    names = sorted(set(effects_a) & set(effects_b))
+    return [name for name in names
+            if effects_a[name] != effects_b[name]]
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """One row of the paper's Table III."""
+
+    pair_label: str            # e.g. "PVF vs AVF"
+    opposite_total: int        # opposite relative-vulnerability pairs
+    pairs_considered: int
+    effect_disagreements: int  # benchmarks with opposite dominant effect
+    benchmarks_considered: int
+
+    def as_row(self) -> tuple:
+        return (self.pair_label,
+                f"{self.opposite_total}/{self.pairs_considered}",
+                f"{self.effect_disagreements}/"
+                f"{self.benchmarks_considered}")
+
+
+def compare_methods(label: str, totals_a: dict, totals_b: dict,
+                    effects_a: dict, effects_b: dict,
+                    tolerance: float = 0.0) -> MethodComparison:
+    """Build one Table-III row from two methods' measurements."""
+    return MethodComparison(
+        pair_label=label,
+        opposite_total=count_opposite_pairs(totals_a, totals_b,
+                                            tolerance=tolerance),
+        pairs_considered=total_pairs(totals_a, totals_b),
+        effect_disagreements=len(effect_disagreements(effects_a,
+                                                      effects_b)),
+        benchmarks_considered=len(set(effects_a) & set(effects_b)),
+    )

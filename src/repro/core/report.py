@@ -1,0 +1,87 @@
+"""Plain-text report rendering for tables and figure series.
+
+The benchmark harness prints the paper's tables and figures as
+aligned text; these helpers keep the formatting consistent across all
+benches and examples.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers: list, rows: list, title: str | None = None,
+                 floatfmt: str = "{:.3f}") -> str:
+    """Render an aligned text table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = []
+    if title:
+        out += [title, "=" * len(title)]
+    out.append(line(str_headers))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def render_percent_table(headers: list, rows: list,
+                         title: str | None = None) -> str:
+    """Like :func:`render_table` but floats print as percentages."""
+    def to_pct(row):
+        return [f"{c * 100:.2f}%" if isinstance(c, float) else c
+                for c in row]
+
+    return render_table(headers, [to_pct(r) for r in rows], title=title)
+
+
+def render_bar_chart(values: dict, title: str | None = None,
+                     width: int = 46, percent: bool = True) -> str:
+    """A horizontal text bar chart (one bar per key)."""
+    if not values:
+        return title or ""
+    peak = max(values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    out = []
+    if title:
+        out += [title, "-" * len(title)]
+    for key, value in values.items():
+        bar = "#" * max(0, round(width * value / peak))
+        shown = f"{value * 100:6.2f}%" if percent else f"{value:9.4f}"
+        out.append(f"{str(key).ljust(label_w)}  {shown}  {bar}")
+    return "\n".join(out)
+
+
+def render_stacked(series: dict, title: str | None = None,
+                   width: int = 40) -> str:
+    """Stacked two-component bars: {name: (sdc, crash)} per row.
+
+    Mirrors the paper's stacked SDC/Crash bar figures: ``s`` glyphs
+    for the SDC share, ``C`` for the Crash share.
+    """
+    if not series:
+        return title or ""
+    peak = max((s + c) for s, c in series.values()) or 1.0
+    label_w = max(len(str(k)) for k in series)
+    out = []
+    if title:
+        out += [title, "-" * len(title)]
+    for name, (sdc, crash) in series.items():
+        n_sdc = round(width * sdc / peak)
+        n_crash = round(width * crash / peak)
+        bar = "s" * n_sdc + "C" * n_crash
+        out.append(f"{str(name).ljust(label_w)}  "
+                   f"{(sdc + crash) * 100:6.2f}% "
+                   f"(s={sdc * 100:5.2f} C={crash * 100:5.2f})  {bar}")
+    return "\n".join(out)

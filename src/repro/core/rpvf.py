@@ -1,0 +1,55 @@
+"""rPVF — the paper's refined PVF analysis (§V).
+
+Typical PVF studies model only Wrong Data.  The refinement weights
+per-FPM PVF measurements (WD, WOI, WI — Fig. 7) by the *actual* FPM
+distribution delivered by the hardware, as measured by the HVF
+analysis and weighted by structure size (Fig. 6, ESC excluded since
+the architecture layer cannot model it):
+
+    rPVF_effect = sum_f  P_hvf(f) x PVF_f(effect),   f in {WD, WOI, WI}
+
+The paper's finding — which this module lets you reproduce — is that
+even rPVF stays nearly identical across microarchitectures while the
+true cross-layer AVF differs substantially (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .weighting import fpm_distribution
+
+
+@dataclass(frozen=True)
+class RPVFResult:
+    """rPVF of one benchmark on one core, split by effect class."""
+
+    total: float
+    sdc: float
+    crash: float
+    detected: float
+    fpm_weights: dict
+
+    @property
+    def dominant_effect(self) -> str:
+        return "sdc" if self.sdc >= self.crash else "crash"
+
+
+def refine_pvf(pvf_by_model: dict, weighted_fpm: dict) -> RPVFResult:
+    """Combine per-FPM PVF campaigns with the HVF FPM distribution.
+
+    *pvf_by_model* maps "WD"/"WOI"/"WI" -> CampaignResult;
+    *weighted_fpm* is the size-weighted FPM rate dict from
+    :func:`repro.core.weighting.weighted_fpm_rates` (may include ESC —
+    it is renormalised away here).
+    """
+    weights = fpm_distribution(weighted_fpm, include_esc=False)
+    total = sdc = crash = detected = 0.0
+    for model, campaign in pvf_by_model.items():
+        w = weights.get(model, 0.0)
+        total += w * campaign.vulnerability()
+        sdc += w * campaign.sdc()
+        crash += w * campaign.crash()
+        detected += w * campaign.detected()
+    return RPVFResult(total=total, sdc=sdc, crash=crash,
+                      detected=detected, fpm_weights=weights)

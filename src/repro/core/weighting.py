@@ -1,0 +1,99 @@
+"""Structure-size weighting (the paper's FIT-rate-equivalent AVF).
+
+AVF is measured per hardware structure.  To aggregate per benchmark,
+the paper weights each structure's AVF by its bit count — equivalent
+to summing FIT rates, since ``FIT(s) = AVF(s) x FIT(bit) x bits(s)``.
+The same weighting aggregates the HVF FPM distributions (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.config import STRUCTURES, MicroarchConfig
+
+#: nominal per-bit FIT rate used by the FIT reports (arbitrary
+#: technology constant; only relative magnitudes matter here)
+FIT_PER_BIT = 1.0e-4
+
+
+@dataclass(frozen=True)
+class WeightedVulnerability:
+    """Size-weighted vulnerability of one benchmark on one core."""
+
+    total: float
+    sdc: float
+    crash: float
+    detected: float = 0.0
+
+    @property
+    def dominant_effect(self) -> str:
+        """"sdc" or "crash" — whichever dominates the vulnerability."""
+        return "sdc" if self.sdc >= self.crash else "crash"
+
+
+def weighted_avf(per_structure: dict, config: MicroarchConfig,
+                 metric: str = "vulnerability") -> float:
+    """Weight a per-structure metric by structure bit counts.
+
+    *per_structure* maps structure name -> CampaignResult (or any
+    object exposing the metric as a zero-argument method).
+    """
+    weights = config.structure_weights()
+    total = 0.0
+    for structure, campaign in per_structure.items():
+        total += getattr(campaign, metric)() * weights[structure]
+    return total
+
+
+def weighted_vulnerability(per_structure: dict,
+                           config: MicroarchConfig) -> WeightedVulnerability:
+    """Full SDC/Crash/Detected split of the size-weighted AVF."""
+    return WeightedVulnerability(
+        total=weighted_avf(per_structure, config, "vulnerability"),
+        sdc=weighted_avf(per_structure, config, "sdc"),
+        crash=weighted_avf(per_structure, config, "crash"),
+        detected=weighted_avf(per_structure, config, "detected"),
+    )
+
+
+def weighted_fpm_rates(per_structure: dict,
+                       config: MicroarchConfig) -> dict:
+    """Size-weighted FPM rates across structures (basis of Fig. 6)."""
+    weights = config.structure_weights()
+    out = {"WD": 0.0, "WI": 0.0, "WOI": 0.0, "ESC": 0.0}
+    for structure, campaign in per_structure.items():
+        rates = campaign.fpm_rates()
+        for fpm, value in rates.items():
+            out[fpm] += value * weights[structure]
+    return out
+
+
+def fpm_distribution(weighted_rates: dict,
+                     include_esc: bool = True) -> dict:
+    """Normalise weighted FPM rates to a distribution.
+
+    ``include_esc=False`` restricts to the software-reaching FPMs —
+    the weighting the rPVF analysis needs (ESC cannot, by definition,
+    be modelled at the architecture layer).
+    """
+    keys = ("WD", "WI", "WOI", "ESC") if include_esc \
+        else ("WD", "WI", "WOI")
+    total = sum(weighted_rates.get(k, 0.0) for k in keys)
+    if total <= 0.0:
+        return {k: 0.0 for k in keys}
+    return {k: weighted_rates.get(k, 0.0) / total for k in keys}
+
+
+def fit_rates(per_structure: dict, config: MicroarchConfig,
+              fit_per_bit: float = FIT_PER_BIT) -> dict:
+    """FIT(s) = AVF(s) x FIT(bit) x bits(s), plus the chip total."""
+    out = {}
+    for structure in STRUCTURES:
+        campaign = per_structure.get(structure)
+        if campaign is None:
+            continue
+        out[structure] = (campaign.vulnerability() * fit_per_bit
+                          * config.structure_bits(structure))
+    out["total"] = sum(out.values())
+    return out

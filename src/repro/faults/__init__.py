@@ -1,0 +1,28 @@
+"""Fault models, effect taxonomy and statistical sampling."""
+
+from .fault import FaultSpec, sample_campaign, sample_uniform
+from .fpm import (
+    DESCRIPTIONS,
+    FPM,
+    SOFTWARE_VISIBLE_FPMS,
+    classify_instruction_corruption,
+)
+from .outcomes import CrashKind, Outcome, Verdict, classify
+from .sampling import margin_of_error, samples_for_margin, wilson_interval
+
+__all__ = [
+    "CrashKind",
+    "DESCRIPTIONS",
+    "FPM",
+    "FaultSpec",
+    "Outcome",
+    "SOFTWARE_VISIBLE_FPMS",
+    "Verdict",
+    "classify",
+    "classify_instruction_corruption",
+    "margin_of_error",
+    "sample_campaign",
+    "sample_uniform",
+    "samples_for_margin",
+    "wilson_interval",
+]

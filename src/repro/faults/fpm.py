@@ -1,0 +1,70 @@
+"""Fault Propagation Models (the paper's Table I).
+
+FPMs describe *how* a hardware fault manifests when it crosses into
+the software layer — they are simultaneously the fault-effect classes
+of the HVF analysis and the possible fault *origins* of architecture-
+level (PVF) analysis:
+
+========  ==================================================================
+WD        Wrong Data — the right resource was used but its content
+          (register or memory word) was corrupt.
+WI        Wrong Instruction — a different instruction executed
+          (corrupt opcode or corrupt PC / instruction fetch).
+WOI       Wrong Operand or Immediate — operand fields (register
+          pointers, immediates) of the instruction were corrupt.
+ESC       Escaped — the fault corrupted program output *without ever
+          re-entering the pipeline* (e.g. output data corrupted in a
+          cache and drained by DMA).  By definition ESC cannot be
+          modelled by PVF- or SVF-level analysis — the paper measures
+          it at up to 62% of all effects.
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..isa.encoding import OPCODE_BITS
+
+
+class FPM(str, Enum):
+    WD = "WD"
+    WI = "WI"
+    WOI = "WOI"
+    ESC = "ESC"
+
+
+#: The FPMs that actually reach the software layer and can therefore
+#: be used as architecture-level fault origins.  ESC, by definition,
+#: cannot.
+SOFTWARE_VISIBLE_FPMS = (FPM.WD, FPM.WI, FPM.WOI)
+
+DESCRIPTIONS = {
+    FPM.WD: ("Wrong Data", "The correct resource was used, but the "
+             "content of the resource (register or memory word) is "
+             "corrupted."),
+    FPM.WI: ("Wrong Instruction", "A different instruction was executed "
+             "compared to the original program flow (corrupted opcode "
+             "or incorrect instruction fetching / PC corruption)."),
+    FPM.WOI: ("Wrong Operand or Immediate", "One or more instruction "
+              "operand fields were corrupted (register pointers or "
+              "immediate values)."),
+    FPM.ESC: ("Escaped", "Faults that corrupt the program output "
+              "without ever reaching the software layer."),
+}
+
+
+def classify_instruction_corruption(pristine: int, corrupted: int) -> FPM:
+    """Classify a corrupted instruction word against the original.
+
+    A flip in the opcode field (or any corruption touching it) makes a
+    *different instruction* execute — WI.  Flips confined to operand /
+    immediate / func bits are WOI.
+    """
+    diff = (pristine ^ corrupted) & 0xFFFF_FFFF
+    if diff == 0:
+        raise ValueError("words are identical; nothing to classify")
+    for bit in OPCODE_BITS:
+        if diff & (1 << bit):
+            return FPM.WI
+    return FPM.WOI

@@ -1,0 +1,76 @@
+"""Fault-effect classification (the paper's §III.A taxonomy).
+
+Every injection run ends in exactly one of:
+
+* **Masked** — no observable deviation from the fault-free run.
+* **SDC** — silent data corruption: the run finished "normally" but
+  the program output differs from the golden output.
+* **Crash** — no output was produced: process crash, kernel panic, or
+  a hang (deadlock/livelock caught by the watchdog).
+* **Detected** — a hardened binary's checker fired the ``detect``
+  trap.  Per the paper's case-study methodology, detected faults are
+  excluded from the vulnerability of the protected binary (a detected
+  fault is recoverable, e.g. by re-execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..uarch.exceptions import FaultKind
+
+
+class Outcome(str, Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+    DETECTED = "detected"
+
+
+class CrashKind(str, Enum):
+    """Fine-grained crash causes (all map to the paper's Crash class)."""
+
+    PROCESS = "process-crash"   # user-mode architectural fault
+    PANIC = "kernel-panic"      # fault raised while in kernel mode
+    HANG = "hang"               # watchdog timeout: deadlock / livelock
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Full classification of one injection run."""
+
+    outcome: Outcome
+    crash_kind: CrashKind | None = None
+    fault_kind: FaultKind | None = None   # architectural cause, if any
+
+    def __post_init__(self) -> None:
+        if (self.outcome is Outcome.CRASH) != (self.crash_kind is not None):
+            raise ValueError("crash_kind must be set iff outcome is CRASH")
+
+    @property
+    def vulnerable(self) -> bool:
+        """Whether the run counts toward the vulnerability factor."""
+        return self.outcome in (Outcome.SDC, Outcome.CRASH)
+
+
+def classify(status: str, output: bytes, exit_code: int,
+             golden_output: bytes, golden_exit: int,
+             fault_kind: FaultKind | None = None,
+             fault_in_kernel: bool = False) -> Verdict:
+    """Map a raw run result onto the fault-effect taxonomy.
+
+    *status* is a :class:`repro.uarch.functional.RunStatus` value (the
+    pipeline engine reuses the same enum).
+    """
+    if status == "detected":
+        return Verdict(Outcome.DETECTED)
+    if status == "timeout":
+        return Verdict(Outcome.CRASH, CrashKind.HANG)
+    if status == "sim-exception":
+        kind = CrashKind.PANIC if fault_in_kernel else CrashKind.PROCESS
+        return Verdict(Outcome.CRASH, kind, fault_kind)
+    # completed: compare outputs
+    if output != golden_output or exit_code != golden_exit:
+        return Verdict(Outcome.SDC)
+    return Verdict(Outcome.MASKED)

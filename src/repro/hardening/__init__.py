@@ -1,0 +1,19 @@
+"""Software-based fault tolerance (the paper's §VI case study)."""
+
+from .transform import (
+    A,
+    HardeningError,
+    HardeningTransform,
+    TransformStats,
+    harden_source,
+    harden_with_stats,
+)
+
+__all__ = [
+    "A",
+    "HardeningError",
+    "HardeningTransform",
+    "TransformStats",
+    "harden_source",
+    "harden_with_stats",
+]

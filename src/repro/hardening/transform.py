@@ -1,0 +1,465 @@
+"""Software-based fault tolerance: duplication + AN-encoding.
+
+An assembly-to-assembly transform reproducing the paper's case-study
+technique ([35]: AN-encoding combined with duplicated instructions,
+targeting SDC detection).  Every user computation is executed twice:
+
+* the **master** stream runs unchanged in registers ``r1``-``r12``;
+* the **shadow** stream runs in registers ``r17``-``r28``
+  (``shadow(rK) = r(K+16)``), holding values in the *AN-encoded*
+  domain (``shadow = A x value`` with ``A = 3``) wherever the
+  operation is linear (add/sub/neg/mv/addi/li), and re-encoded from
+  duplicate computation where it is not (logic ops, shifts,
+  multiplies, loads).
+
+At every *sync point* — stores, conditional branches and syscalls —
+the invariant ``3 x master == shadow`` is checked for every live
+input; a mismatch executes the ``detect`` trap, which the fault
+classifiers map to the *Detected* outcome.
+
+The transform only supports mRISC-64 (the shadow register space does
+not exist on mRISC-32), mirroring the paper's 64-bit-only case study.
+
+Modes:
+
+* ``full`` — AN-encoding + duplication (the paper's technique).
+* ``dup``  — plain duplication (EDDI-style); shadow equals master and
+  checks compare for equality.  Provided for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.assembler import _split_operands, _strip_comment
+from ..isa.registers import MR64, register_set
+
+#: encoding constant of the AN code
+A = 3
+
+#: multiplicative inverse of A modulo 2**64 — decoding a shadow value
+#: is a single multiply (3 is odd, hence invertible in the ring)
+A_INV = pow(A, -1, 1 << 64)
+
+#: master registers eligible for shadowing
+_SHADOWABLE = {f"r{i}": f"r{i + 16}" for i in range(1, 13)}
+
+#: scratch registers reserved for the checkers (unused by workloads)
+_SCRATCH = "r13"
+_SCRATCH2 = "r14"
+#: holds A_INV for the lifetime of a hardened run ("full" mode)
+_INV_REG = "r15"
+
+_DETECT_LABEL = "__ft_detect"
+
+#: ops where shadow can stay in the encoded domain
+_LINEAR_R = {"add", "sub"}
+#: R-type ops requiring re-encoding of the shadow from the master result
+_NONLINEAR_R = {"mul", "div", "rem", "and", "or", "xor", "sll", "srl",
+                "sra", "slt", "sltu", "addw", "subw", "mulw", "sllw",
+                "srlw", "sraw"}
+_NONLINEAR_I = {"andi", "ori", "xori", "slli", "srli", "srai", "slti",
+                "addiw"}
+_LOADS = {"lb", "lbu", "lh", "lhu", "lw", "lwu", "ld"}
+_STORES = {"sb", "sh", "sw", "sd"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu",
+             "bgt", "ble", "bgtu", "bleu"}
+_BRANCHES_Z = {"beqz", "bnez"}
+
+
+class HardeningError(Exception):
+    """The transform cannot harden the given source."""
+
+
+@dataclass
+class TransformStats:
+    """Bookkeeping for reports and tests."""
+
+    original_instructions: int = 0
+    emitted_instructions: int = 0
+    checks: int = 0
+    reencodes: int = 0
+    linear_shadows: int = 0
+
+    @property
+    def static_overhead(self) -> float:
+        if not self.original_instructions:
+            return 0.0
+        return self.emitted_instructions / self.original_instructions
+
+
+class HardeningTransform:
+    """Applies the duplication + AN-encoding transform to one source."""
+
+    def __init__(self, isa: str, mode: str = "full") -> None:
+        if register_set(isa).xlen != 64:
+            raise HardeningError(
+                "hardening requires mRISC-64 (no shadow register space "
+                "on mRISC-32) — mirroring the paper's 64-bit case study")
+        if mode not in ("full", "dup"):
+            raise HardeningError(f"unknown hardening mode {mode!r}")
+        self.isa = isa
+        self.mode = mode
+        self.stats = TransformStats()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _shadow(self, reg: str) -> str | None:
+        return _SHADOWABLE.get(reg.lower().strip())
+
+    def _shadow_or_master(self, reg: str) -> str:
+        """Shadow register, or the master itself for r0/sp/lr."""
+        return self._shadow(reg) or reg
+
+    def _encoded_source(self, reg: str) -> str | None:
+        """Register usable as a source in the AN-encoded domain.
+
+        ``r0`` passes through (3*0 == 0); shadowed masters map to
+        their shadows; sp/lr have no encoded form.
+        """
+        if _is_zero(reg):
+            return "r0"
+        return self._shadow(reg)
+
+    def _encode_of(self, master: str, out: list[str]) -> str:
+        """Emit scratch = A * master; returns the scratch register."""
+        out.append(f"    slli {_SCRATCH}, {master}, 1")
+        out.append(f"    add  {_SCRATCH}, {_SCRATCH}, {master}")
+        return _SCRATCH
+
+    def _check(self, reg: str, out: list[str]) -> None:
+        """Emit a sync-point check for one master register."""
+        shadow = self._shadow(reg)
+        if shadow is None:
+            return
+        self.stats.checks += 1
+        if self.mode == "dup":
+            out.append(f"    bne  {reg}, {shadow}, {_DETECT_LABEL}")
+        else:
+            scratch = self._encode_of(reg, out)
+            out.append(f"    bne  {scratch}, {shadow}, {_DETECT_LABEL}")
+
+    def _reencode(self, rd: str, out: list[str]) -> None:
+        """Shadow(rd) := A * rd (copied from the master).
+
+        Only used where the input is *trusted-unprotected by design*
+        (sp/lr-derived values, syscall return values) or as a fallback
+        for ops the transform does not model — a master corruption in
+        these flows is not detectable, exactly like the unprotected
+        library/kernel data flows the paper discusses in §VI.B.
+        """
+        shadow = self._shadow(rd)
+        if shadow is None:
+            return
+        self.stats.reencodes += 1
+        if self.mode == "dup":
+            out.append(f"    mv   {shadow}, {rd}")
+        else:
+            out.append(f"    slli {shadow}, {rd}, 1")
+            out.append(f"    add  {shadow}, {shadow}, {rd}")
+
+    def _decoded_operand(self, reg: str, scratch: str,
+                         out: list[str]) -> str:
+        """Materialise a *decoded* (plain-domain) copy of one source
+        for independent shadow computation of a non-linear op.
+
+        r0 needs no decode; sp/lr come straight from the master
+        (unprotected by design); shadowed sources are decoded from the
+        encoded domain with one multiply by ``A_INV``.
+        """
+        if _is_zero(reg):
+            return "r0"
+        shadow = self._shadow(reg)
+        if shadow is None:
+            return reg
+        out.append(f"    mul  {scratch}, {shadow}, {_INV_REG}")
+        return scratch
+
+    def _encode_in_place(self, reg: str, out: list[str]) -> None:
+        """reg := A * reg (after an independent plain-domain compute)."""
+        out.append(f"    slli {_SCRATCH}, {reg}, 1")
+        out.append(f"    add  {reg}, {reg}, {_SCRATCH}")
+
+    # ------------------------------------------------------------------
+    # the transform
+    # ------------------------------------------------------------------
+    def transform(self, source: str) -> str:
+        out_lines: list[str] = []
+        in_text = True
+        for raw_line in source.splitlines():
+            line = _strip_comment(raw_line)
+            if not line:
+                out_lines.append(raw_line)
+                continue
+            # labels stay attached to the start of the expansion
+            while True:
+                head, sep, rest = line.partition(":")
+                if sep and '"' not in head and head.strip() \
+                        and not head.strip().startswith("."):
+                    label = head.strip()
+                    out_lines.append(f"{label}:")
+                    if label == "_start" and self.mode == "full":
+                        # the decode constant lives in r15 for the
+                        # whole run
+                        out_lines.append(f"    li   {_INV_REG}, "
+                                         f"{A_INV:#x}")
+                    line = rest.strip()
+                else:
+                    break
+            if not line:
+                continue
+            if line.startswith("."):
+                if line.split()[0] in (".text", ".data"):
+                    in_text = line.split()[0] == ".text"
+                out_lines.append("    " + line)
+                continue
+            if not in_text:
+                out_lines.append("    " + line)
+                continue
+            self._transform_instruction(line, out_lines)
+        # the detect stub goes at the end of the text section (the
+        # source may end inside .data, so re-select .text explicitly)
+        out_lines.append("    .text")
+        out_lines.append(f"{_DETECT_LABEL}:")
+        out_lines.append("    detect")
+        self.stats.emitted_instructions += 1
+        return "\n".join(out_lines)
+
+    def _transform_instruction(self, line: str, out: list[str]) -> None:
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        ops = _split_operands(rest)
+        self.stats.original_instructions += 1
+        before = len(out)
+        self._expand(mnemonic, ops, line, out)
+        self.stats.emitted_instructions += sum(
+            1 for text in out[before:] if not text.strip().endswith(":"))
+
+    def _expand(self, m: str, ops: list[str], line: str,
+                out: list[str]) -> None:
+        emit = out.append
+        original = "    " + line
+
+        # ---- stores: sync point -------------------------------------
+        if m in _STORES:
+            src = ops[0]
+            base = _mem_base(ops[1])
+            self._check(src, out)
+            if base != src:
+                self._check(base, out)
+            emit(original)
+            return
+
+        # ---- branches: sync point ------------------------------------
+        if m in _BRANCHES:
+            for reg in dict.fromkeys(ops[:2]):
+                self._check(reg, out)
+            emit(original)
+            return
+        if m in _BRANCHES_Z:
+            self._check(ops[0], out)
+            emit(original)
+            return
+
+        # ---- control transfer: pass through --------------------------
+        if m in ("j", "b", "jal", "call", "ret", "jr", "jalr", "nop",
+                 "halt", "eret", "detect"):
+            emit(original)
+            return
+
+        # ---- syscall: check the argument registers, resync r1 --------
+        if m == "syscall":
+            for reg in ("r1", "r2", "r3", "r4"):
+                self._check(reg, out)
+            emit(original)
+            self._reencode("r1", out)
+            return
+
+        # ---- loads: duplicate the access through the SHADOW address ---
+        # The duplicate load computes its own address from the shadow
+        # base register: if it followed the master's address, a master
+        # corruption would steer both loads identically and the shadow
+        # stream would silently converge back onto the corrupted
+        # dataflow (undetectable SDC).  The duplicate is emitted BEFORE
+        # the master load because the destination may double as the
+        # base register (``lw r10, 0(r10)``).
+        if m in _LOADS:
+            rd = ops[0]
+            shadow = self._shadow(rd)
+            if shadow is None:
+                emit(original)
+                return
+            base = _mem_base(ops[1])
+            off = _mem_offset(ops[1])
+            if self.mode == "dup":
+                shadow_base = self._shadow(base) or base
+                emit(f"    {m} {shadow}, {off}({shadow_base})")
+                emit(original)
+            else:
+                addr_reg = self._decoded_operand(base, _SCRATCH, out)
+                emit(f"    {m} {_SCRATCH2}, {off}({addr_reg})")
+                emit(original)
+                self.stats.reencodes += 1
+                emit(f"    slli {shadow}, {_SCRATCH2}, 1")
+                emit(f"    add  {shadow}, {shadow}, {_SCRATCH2}")
+            return
+
+        # ---- register computation -------------------------------------
+        rd = ops[0] if ops else ""
+        shadow_rd = self._shadow(rd) if ops else None
+        emit(original)
+        if shadow_rd is None:
+            return  # writes sp/lr/r0 or has no destination
+
+        if self.mode == "dup":
+            self._expand_dup_shadow(m, ops, shadow_rd, out)
+            return
+
+        # full mode: AN-encoded shadow where linear.  A source is
+        # usable in the encoded domain iff it is r0 (3*0 == 0) or has
+        # a shadow; sp/lr operands force re-encoding.
+        if m in _LINEAR_R:
+            s1 = self._encoded_source(ops[1])
+            s2 = self._encoded_source(ops[2])
+            if s1 is not None and s2 is not None:
+                self.stats.linear_shadows += 1
+                emit(f"    {m} {shadow_rd}, {s1}, {s2}")
+            else:
+                self._reencode(rd, out)
+            return
+        if m in ("neg", "mv"):
+            s1 = self._encoded_source(ops[1])
+            if s1 is not None:
+                self.stats.linear_shadows += 1
+                emit(f"    {m}   {shadow_rd}, {s1}")
+            else:
+                self._reencode(rd, out)
+            return
+        if m == "addi":
+            imm = _try_int(ops[2])
+            s1 = self._encoded_source(ops[1])
+            if imm is not None and -10922 <= imm <= 10922 \
+                    and s1 is not None:
+                self.stats.linear_shadows += 1
+                emit(f"    addi {shadow_rd}, {s1}, {imm * A}")
+                return
+            self._reencode(rd, out)
+            return
+        if m == "li":
+            imm = _try_int(ops[1])
+            if imm is not None and -(2**60) < imm < 2**60:
+                self.stats.linear_shadows += 1
+                emit(f"    li   {shadow_rd}, {imm * A}")
+                return
+            self._reencode(rd, out)
+            return
+
+        # slli is linear in the ring: (A*x) << n == A * (x << n)
+        if m == "slli":
+            s1 = self._encoded_source(ops[1])
+            if s1 is not None:
+                self.stats.linear_shadows += 1
+                emit(f"    slli {shadow_rd}, {s1}, {ops[2]}")
+                return
+        # mul is linear in ONE operand: (A*a) * b == A * (a*b), so a
+        # single decode suffices
+        if m == "mul":
+            s1 = self._encoded_source(ops[1])
+            s2 = self._encoded_source(ops[2])
+            if s1 is not None and s2 is not None:
+                self.stats.linear_shadows += 1
+                emit(f"    mul  {_SCRATCH}, {s2}, {_INV_REG}")
+                emit(f"    mul  {shadow_rd}, {s1}, {_SCRATCH}")
+                return
+
+        # ---- non-linear ops: independent shadow computation ----------
+        # decode the encoded shadow sources (x A_INV), duplicate the
+        # computation in the plain domain, then encode the result.
+        # A master corruption therefore does NOT leak into the shadow.
+        if m in _NONLINEAR_R:
+            s1 = self._decoded_operand(ops[1], _SCRATCH, out)
+            s2 = self._decoded_operand(ops[2], _SCRATCH2, out)
+            emit(f"    {m} {shadow_rd}, {s1}, {s2}")
+            self._encode_in_place(shadow_rd, out)
+            self.stats.reencodes += 1
+            return
+        if m in _NONLINEAR_I or (m == "addi"):
+            s1 = self._decoded_operand(ops[1], _SCRATCH, out)
+            emit(f"    {m} {shadow_rd}, {s1}, {ops[2]}")
+            self._encode_in_place(shadow_rd, out)
+            self.stats.reencodes += 1
+            return
+        if m in ("not", "snez"):
+            s1 = self._decoded_operand(ops[1], _SCRATCH, out)
+            emit(f"    {m}  {shadow_rd}, {s1}")
+            self._encode_in_place(shadow_rd, out)
+            self.stats.reencodes += 1
+            return
+        if m in ("la", "lui"):
+            emit(f"    {m}  {shadow_rd}, {', '.join(ops[1:])}")
+            self._encode_in_place(shadow_rd, out)
+            self.stats.reencodes += 1
+            return
+        # anything unanticipated: trusted copy from the master
+        self._reencode(rd, out)
+
+    def _expand_dup_shadow(self, m: str, ops: list[str], shadow_rd: str,
+                           out: list[str]) -> None:
+        """Plain-duplication shadow: mirror the master op exactly."""
+        emit = out.append
+        if m in _LINEAR_R or m in _NONLINEAR_R:
+            s1 = self._shadow_or_master(ops[1])
+            s2 = self._shadow_or_master(ops[2])
+            emit(f"    {m} {shadow_rd}, {s1}, {s2}")
+            return
+        if m in ("mv", "neg", "not"):
+            emit(f"    {m} {shadow_rd}, {self._shadow_or_master(ops[1])}")
+            return
+        if m == "snez":
+            emit(f"    snez {shadow_rd}, "
+                 f"{self._shadow_or_master(ops[1])}")
+            return
+        if m in _NONLINEAR_I or m in ("addi",):
+            emit(f"    {m} {shadow_rd}, "
+                 f"{self._shadow_or_master(ops[1])}, {ops[2]}")
+            return
+        if m in ("li", "la", "lui"):
+            emit(f"    {m} {shadow_rd}, "
+                 f"{', '.join(ops[1:])}")
+            return
+        # unknown destination op: fall back to a copy
+        self._reencode(ops[0], out)
+
+
+def _mem_base(operand: str) -> str:
+    inside = operand[operand.index("(") + 1:operand.rindex(")")]
+    return inside.strip()
+
+
+def _mem_offset(operand: str) -> str:
+    return operand[:operand.index("(")].strip() or "0"
+
+
+def _try_int(text: str) -> int | None:
+    try:
+        return int(text.strip(), 0)
+    except ValueError:
+        return None
+
+
+def _is_zero(reg: str) -> bool:
+    return reg.strip().lower() in ("r0", "zero")
+
+
+def harden_source(source: str, isa: str = MR64,
+                  mode: str = "full") -> str:
+    """Apply the fault-tolerance transform to an assembly source."""
+    return HardeningTransform(isa, mode=mode).transform(source)
+
+
+def harden_with_stats(source: str, isa: str = MR64,
+                      mode: str = "full") -> tuple[str, TransformStats]:
+    """Like :func:`harden_source` but also returns transform stats."""
+    transform = HardeningTransform(isa, mode=mode)
+    return transform.transform(source), transform.stats

@@ -1,0 +1,28 @@
+"""Fault injectors for the three measurement layers.
+
+* :mod:`~repro.injectors.gefin` — microarchitectural (AVF + HVF).
+* :mod:`~repro.injectors.archinj` — architecture level (PVF).
+* :mod:`~repro.injectors.llfi` — software level (SVF, LLFI model).
+* :mod:`~repro.injectors.campaign` — orchestration, caching, stats.
+"""
+
+from .archinj import PVF_MODELS, run_pvf_campaign
+from .campaign import INJECTORS, CampaignResult, run_campaign
+from .gefin import InjectionResult, run_gefin_campaign, run_one_injection
+from .golden import GoldenRun, cache_dir, golden_run
+from .llfi import run_svf_campaign
+
+__all__ = [
+    "CampaignResult",
+    "GoldenRun",
+    "INJECTORS",
+    "InjectionResult",
+    "PVF_MODELS",
+    "cache_dir",
+    "golden_run",
+    "run_campaign",
+    "run_gefin_campaign",
+    "run_one_injection",
+    "run_pvf_campaign",
+    "run_svf_campaign",
+]

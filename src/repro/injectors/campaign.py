@@ -1,0 +1,284 @@
+"""Campaign orchestration: thousands of deterministic injection runs.
+
+A *campaign* is ``n`` independent single-fault injection runs of one
+injector against one (workload, core, structure/model) target.  Every
+run is deterministic in ``(seed, index)``, so campaigns are exactly
+reproducible, can be parallelised across processes, and are cached on
+disk (the statistical analyses re-read the same campaigns from many
+benches).
+
+The aggregation implements the paper's estimators:
+
+* **AVF** (gefin)  = occupancy_weight x P(SDC or Crash)
+* **HVF** (gefin)  = occupancy_weight x P(activated or exposed)
+* FPM distribution = occupancy_weight x P(first crossing is that FPM)
+* **PVF/SVF**      = P(SDC or Crash) at their respective layers
+
+plus Leveugle-style margins of error for every proportion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+
+from ..faults.fault import sample_uniform
+from ..faults.outcomes import Outcome
+from ..faults.sampling import margin_of_error
+from ..uarch.config import MicroarchConfig, config_by_name
+from .archinj import build_pvf_action, run_one_pvf
+from .gefin import InjectionResult, run_one_injection
+from .golden import cache_dir, golden_run
+from .llfi import _dest_flip_action, run_one_svf
+
+INJECTORS = ("gefin", "pvf", "svf")
+
+
+# ---------------------------------------------------------------------------
+# per-run workers (deterministic in (seed, index); picklable by design)
+# ---------------------------------------------------------------------------
+def _one_gefin(args: tuple) -> InjectionResult:
+    (workload, config_name, structure, seed, index, hardened,
+     prefer_live) = args
+    config = config_by_name(config_name)
+    golden = golden_run(workload, config_name, hardened=hardened)
+    rng = random.Random(repr((seed, "gefin", workload, config_name,
+                         structure, index)))
+    spec = sample_uniform(config, structure, golden.cycles, rng,
+                          prefer_live=prefer_live)
+    return run_one_injection(workload, config, spec, golden,
+                             hardened=hardened)
+
+
+def _one_pvf(args: tuple) -> InjectionResult:
+    workload, config_name, model, seed, index, hardened = args
+    config = config_by_name(config_name)
+    golden = golden_run(workload, config_name, hardened=hardened)
+    rng = random.Random(repr((seed, "pvf", model, workload, config_name,
+                         index)))
+    from ..isa.registers import register_set
+
+    action = build_pvf_action(model, rng, golden,
+                              register_set(config.isa).xlen)
+    return run_one_pvf(workload, config.isa, action, golden,
+                       hardened=hardened)
+
+
+def _one_svf(args: tuple) -> InjectionResult:
+    workload, config_name, seed, index, hardened = args
+    config = config_by_name(config_name)
+    golden = golden_run(workload, config_name, hardened=hardened)
+    rng = random.Random(repr((seed, "svf", workload, config_name, index)))
+    from ..isa.registers import register_set
+
+    action = _dest_flip_action(rng, golden,
+                               register_set(config.isa).xlen)
+    return run_one_svf(workload, config.isa, action, golden,
+                       hardened=hardened)
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """Aggregated result of one campaign."""
+
+    injector: str
+    workload: str
+    config_name: str
+    n: int
+    seed: int
+    structure: str | None = None      # gefin campaigns
+    model: str | None = None          # pvf campaigns (WD/WOI/WI)
+    hardened: bool = False
+    occupancy_weight: float = 1.0
+    results: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # estimators
+    # ------------------------------------------------------------------
+    def _count(self, predicate) -> int:
+        return sum(1 for r in self.results if predicate(r))
+
+    def rate(self, predicate) -> float:
+        """Weighted fraction of runs satisfying *predicate*."""
+        if not self.results:
+            return 0.0
+        return self.occupancy_weight * self._count(predicate) \
+            / len(self.results)
+
+    def vulnerability(self) -> float:
+        """AVF (gefin) / PVF / SVF: P(SDC or Crash)."""
+        return self.rate(lambda r: r.vulnerable)
+
+    #: the paper calls the same estimator different names per layer
+    avf = vulnerability
+    pvf = vulnerability
+    svf = vulnerability
+
+    def sdc(self) -> float:
+        return self.rate(lambda r: r.outcome == Outcome.SDC.value)
+
+    def crash(self) -> float:
+        return self.rate(lambda r: r.outcome == Outcome.CRASH.value)
+
+    def crash_kind_rate(self, kind: str) -> float:
+        return self.rate(lambda r: r.crash_kind == kind)
+
+    def detected(self) -> float:
+        return self.rate(lambda r: r.outcome == Outcome.DETECTED.value)
+
+    def masked(self) -> float:
+        return self.rate(lambda r: r.outcome == Outcome.MASKED.value)
+
+    def hvf(self) -> float:
+        """Fraction activated in hardware or exposed to software."""
+        return self.rate(lambda r: r.hvf_visible)
+
+    def fpm_rates(self) -> dict:
+        """FPM -> weighted rate (incl. ESC); the HVF breakdown of Fig 5/6."""
+        out = {}
+        for fpm in ("WD", "WI", "WOI", "ESC"):
+            out[fpm] = self.rate(lambda r, f=fpm: r.fpm == f)
+        return out
+
+    def fpm_distribution(self) -> dict:
+        """FPM -> share of software-reaching faults (sums to 1)."""
+        rates = self.fpm_rates()
+        total = sum(rates.values())
+        if total <= 0:
+            return {k: 0.0 for k in rates}
+        return {k: v / total for k, v in rates.items()}
+
+    def margin(self, confidence: float = 0.99) -> float:
+        return margin_of_error(max(1, len(self.results)),
+                               confidence=confidence)
+
+    def summary(self) -> str:
+        target = self.structure or self.model or "-"
+        return (f"{self.injector}:{self.workload}@{self.config_name}"
+                f"/{target}{'+ft' if self.hardened else ''} "
+                f"n={len(self.results)} "
+                f"vuln={100 * self.vulnerability():.2f}% "
+                f"(sdc={100 * self.sdc():.2f}% "
+                f"crash={100 * self.crash():.2f}% "
+                f"det={100 * self.detected():.2f}%) "
+                f"+/-{100 * self.margin():.2f}%")
+
+    # ------------------------------------------------------------------
+    # (de)serialisation for the on-disk store
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["results"] = [asdict(r) for r in self.results]
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CampaignResult":
+        data = dict(data)
+        data["results"] = [InjectionResult(**r) for r in data["results"]]
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# the campaign runner
+# ---------------------------------------------------------------------------
+def _campaign_path(meta: tuple) -> "os.PathLike":
+    import hashlib
+
+    digest = hashlib.sha256(json.dumps(meta).encode()).hexdigest()[:20]
+    return cache_dir() / f"campaign-{meta[0]}-{meta[1]}-{digest}.json"
+
+
+def default_workers(n: int) -> int:
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    if n < 32:
+        return 1
+    return min(os.cpu_count() or 1, 8)
+
+
+def run_campaign(workload: str, config: "MicroarchConfig | str",
+                 injector: str = "gefin", structure: str | None = None,
+                 model: str = "WD", n: int = 200, seed: int = 1,
+                 hardened: bool = False, prefer_live: bool = True,
+                 use_cache: bool = True,
+                 workers: int | None = None) -> CampaignResult:
+    """Run (or load) one fault-injection campaign.
+
+    Parameters mirror the paper's experimental axes: *injector* picks
+    the abstraction layer (``gefin`` = microarchitectural AVF/HVF,
+    ``pvf`` = architecture level, ``svf`` = LLFI-style software
+    level); *structure* is required for ``gefin``; *model* selects the
+    PVF fault-propagation model.
+    """
+    if injector not in INJECTORS:
+        raise ValueError(f"unknown injector {injector!r}")
+    config_name = config if isinstance(config, str) else config.name
+    cfg = config_by_name(config_name)
+
+    from .golden import config_digest, workload_digest
+
+    digest = (workload_digest(workload, cfg.isa, hardened)
+              + config_digest(cfg))
+    if injector == "gefin":
+        if structure is None:
+            raise ValueError("gefin campaigns need a structure")
+        meta = ("gefin", workload, config_name, structure, n, seed,
+                hardened, prefer_live, digest)
+    elif injector == "pvf":
+        meta = ("pvf", workload, config_name, model, n, seed, hardened,
+                digest)
+    else:
+        meta = ("svf", workload, config_name, n, seed, hardened, digest)
+
+    path = _campaign_path(meta)
+    if use_cache and path.exists():
+        try:
+            return CampaignResult.from_json(json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError):
+            path.unlink()
+
+    # make sure golden data exists before forking workers
+    golden = golden_run(workload, config_name, hardened=hardened)
+
+    if injector == "gefin":
+        tasks = [(workload, config_name, structure, seed, i, hardened,
+                  prefer_live) for i in range(n)]
+        worker = _one_gefin
+        weight = (golden.occupancy.get(structure, 1.0)
+                  if prefer_live else 1.0)
+    elif injector == "pvf":
+        tasks = [(workload, config_name, model, seed, i, hardened)
+                 for i in range(n)]
+        worker = _one_pvf
+        weight = 1.0
+    else:
+        tasks = [(workload, config_name, seed, i, hardened)
+                 for i in range(n)]
+        worker = _one_svf
+        weight = 1.0
+
+    n_workers = workers if workers is not None else default_workers(n)
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(worker, tasks,
+                                    chunksize=max(1, n // (4 * n_workers))))
+    else:
+        results = [worker(task) for task in tasks]
+
+    campaign = CampaignResult(
+        injector=injector, workload=workload, config_name=config_name,
+        n=n, seed=seed,
+        structure=structure if injector == "gefin" else None,
+        model=model if injector == "pvf" else None,
+        hardened=hardened, occupancy_weight=weight, results=results,
+    )
+    if use_cache:
+        path.write_text(json.dumps(campaign.to_json()))
+    return campaign

@@ -1,0 +1,111 @@
+"""GeFIN-like microarchitecture-level fault injector (AVF + HVF).
+
+One injection run = one end-to-end pipeline execution with a single
+bit flip scheduled into one of the five target structures at a
+uniformly random cycle.  The run yields simultaneously:
+
+* the **AVF observation** — the program-level fault effect (Masked /
+  SDC / Crash / Detected), and
+* the **HVF observation** — whether the fault ever became
+  architecturally visible, and through which Fault Propagation Model
+  (WD / WI / WOI), with ESC inferred for output-corrupting runs that
+  never crossed into software.
+
+This mirrors the paper's single-infrastructure methodology (GeFIN on
+gem5 computes AVF, HVF and PVF from the same simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.fault import FaultSpec, sample_campaign
+from ..faults.outcomes import Outcome, Verdict, classify
+from ..kernel.loader import build_system_image
+from ..uarch.config import MicroarchConfig
+from ..uarch.pipeline import PipelineEngine
+from ..workloads.suite import load_workload
+from .golden import GoldenRun, golden_run
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """One fault injection experiment, fully classified."""
+
+    outcome: str                  # Outcome value
+    crash_kind: str | None = None
+    fpm: str | None = None        # WD/WI/WOI/ESC, None if never visible
+    fault_applied: bool = False   # False: program ended before the cycle
+    fault_live: bool = False      # hit live (non-dead) state
+    crossed: bool = False         # became architecturally visible
+    in_kernel_crossing: bool = False
+    cycles: float = 0.0
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.outcome in (Outcome.SDC.value, Outcome.CRASH.value)
+
+    @property
+    def hvf_visible(self) -> bool:
+        """Counts toward HVF: activated in hardware or exposed above."""
+        return self.crossed or self.outcome != Outcome.MASKED.value
+
+
+def run_one_injection(workload: str, config: MicroarchConfig,
+                      spec: FaultSpec, golden: GoldenRun,
+                      hardened: bool = False) -> InjectionResult:
+    """Execute one microarchitectural fault injection."""
+    program = load_workload(workload, config.isa, hardened=hardened)
+    image = build_system_image(program)
+    engine = PipelineEngine(
+        image, config, faults=[spec],
+        max_instructions=golden.max_instructions,
+        max_cycles=golden.max_cycles,
+    )
+    result = engine.run()
+
+    verdict: Verdict = classify(
+        result.status.value, result.output, result.exit_code,
+        golden.output, golden.exit_code,
+        fault_kind=result.fault_kind,
+        fault_in_kernel=result.fault_in_kernel,
+    )
+
+    fpm = None
+    crossed = result.crossing is not None
+    if crossed:
+        fpm = result.crossing.fpm
+    elif verdict.outcome is Outcome.SDC:
+        # output corrupted without ever re-entering the pipeline
+        fpm = "ESC"
+
+    return InjectionResult(
+        outcome=verdict.outcome.value,
+        crash_kind=(verdict.crash_kind.value
+                    if verdict.crash_kind else None),
+        fpm=fpm,
+        fault_applied=result.fault_applied,
+        fault_live=result.fault_live,
+        crossed=crossed,
+        in_kernel_crossing=(result.crossing.in_kernel
+                            if result.crossing else False),
+        cycles=result.cycles,
+    )
+
+
+def run_gefin_campaign(workload: str, config: MicroarchConfig,
+                       structure: str, n: int, seed: int,
+                       hardened: bool = False,
+                       prefer_live: bool = True) -> list[InjectionResult]:
+    """Run *n* injections into *structure* (deterministic in *seed*).
+
+    ``prefer_live=True`` uses occupancy-aware sampling (see
+    :mod:`repro.faults.fault`); the campaign aggregation layer
+    reweights by the golden occupancy to stay unbiased.
+    """
+    golden = golden_run(workload, config.name, hardened=hardened)
+    specs = sample_campaign(config, structure, golden.cycles, n, seed,
+                            prefer_live=prefer_live)
+    return [run_one_injection(workload, config, spec, golden,
+                              hardened=hardened)
+            for spec in specs]

@@ -1,0 +1,162 @@
+"""Golden (fault-free) reference runs.
+
+Every campaign needs the fault-free baseline: the program output and
+exit code (SDC detection), the cycle count (fault-time sampling and
+watchdog), the dynamic instruction counts (functional fault-time
+sampling), the set of architecturally used registers and the memory
+footprint (PVF fault populations), and the average structure
+occupancies (variance-reduced AVF estimation).
+
+Golden data is deterministic per (workload, ISA/config, hardened), so
+it is cached both in-process and on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+from ..uarch.config import MicroarchConfig, config_by_name
+from ..uarch.functional import run_functional
+from ..uarch.pipeline import run_pipeline
+from ..workloads.suite import load_workload
+
+#: watchdog multipliers relative to the golden run
+WATCHDOG_INSTR_FACTOR = 4
+WATCHDOG_CYCLE_FACTOR = 5
+
+
+def cache_dir() -> Path:
+    """Directory for on-disk campaign/golden caches."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        path = Path(env)
+    else:
+        path = Path.home() / ".cache" / "repro-vulnstack"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass
+class GoldenRun:
+    """Fault-free reference data for one (workload, config, hardened)."""
+
+    workload: str
+    config_name: str
+    hardened: bool
+
+    # functional (architectural) reference
+    output: bytes = b""
+    exit_code: int = 0
+    instructions: int = 0
+    kernel_instructions: int = 0
+    user_instructions: int = 0
+    dest_instructions: int = 0
+    regs_used: list = field(default_factory=list)
+    footprint: list = field(default_factory=list)   # 8-byte granules
+
+    # pipeline (microarchitectural) reference
+    cycles: float = 0.0
+    pipe_instructions: int = 0
+    occupancy: dict = field(default_factory=dict)
+
+    @property
+    def max_instructions(self) -> int:
+        return max(1000, WATCHDOG_INSTR_FACTOR * self.instructions)
+
+    @property
+    def max_cycles(self) -> float:
+        return max(10_000.0, WATCHDOG_CYCLE_FACTOR * self.cycles)
+
+    def to_json(self) -> dict:
+        data = self.__dict__.copy()
+        data["output"] = self.output.hex()
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GoldenRun":
+        data = dict(data)
+        data["output"] = bytes.fromhex(data["output"])
+        return cls(**data)
+
+
+def workload_digest(workload: str, isa: str, hardened: bool) -> str:
+    """Content digest of the assembled workload (cache invalidation)."""
+    program = load_workload(workload, isa, hardened=hardened)
+    h = hashlib.sha256()
+    for section in program.sections:
+        h.update(section.name.encode())
+        h.update(section.base.to_bytes(8, "little"))
+        h.update(bytes(section.data))
+    return h.hexdigest()[:16]
+
+
+def config_digest(config: MicroarchConfig) -> str:
+    """Digest of every parameter of a core configuration.
+
+    Keys golden/campaign caches so that editing a preset (or defining
+    a custom core under an existing name) can never resurrect stale
+    results.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def _golden_key(workload: str, config: MicroarchConfig,
+                hardened: bool) -> str:
+    from .. import __version__
+
+    blob = json.dumps([__version__, workload, config.name, hardened,
+                       workload_digest(workload, config.isa, hardened),
+                       config_digest(config)]).encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+@lru_cache(maxsize=None)
+def golden_run(workload: str, config_name: str,
+               hardened: bool = False) -> GoldenRun:
+    """Compute (or load) the golden reference for one configuration."""
+    config = config_by_name(config_name)
+    key = _golden_key(workload, config, hardened)
+    path = cache_dir() / f"golden-{workload}-{config.name}-{key}.json"
+    if path.exists():
+        try:
+            return GoldenRun.from_json(json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError):
+            path.unlink()  # stale/corrupt cache entry
+
+    program = load_workload(workload, config.isa, hardened=hardened)
+    func = run_functional(program, kernel="sim", collect_profile=True)
+    if func.status.value != "completed":
+        raise RuntimeError(
+            f"golden functional run of {workload} on {config.isa} "
+            f"did not complete: {func.status}")
+    pipe = run_pipeline(program, config, collect_stats=True)
+    if pipe.status.value != "completed" or pipe.output != func.output:
+        raise RuntimeError(
+            f"golden pipeline run of {workload} on {config.name} "
+            f"diverged from the architectural reference")
+
+    profile = func.profile
+    assert profile is not None
+    golden = GoldenRun(
+        workload=workload,
+        config_name=config.name,
+        hardened=hardened,
+        output=func.output,
+        exit_code=func.exit_code,
+        instructions=func.instructions,
+        kernel_instructions=profile.kernel_instructions,
+        user_instructions=profile.user_instructions,
+        dest_instructions=profile.dest_instructions,
+        regs_used=sorted(profile.regs_used),
+        footprint=sorted(profile.mem_footprint),
+        cycles=pipe.cycles,
+        pipe_instructions=pipe.instructions,
+        occupancy=pipe.occupancy,
+    )
+    path.write_text(json.dumps(golden.to_json()))
+    return golden

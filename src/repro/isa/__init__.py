@@ -1,0 +1,59 @@
+"""mRISC: the miniature RISC ISA and toolchain used by this reproduction.
+
+Two ISA variants exist, standing in for the paper's two Arm
+architectures:
+
+* :data:`~repro.isa.registers.MR32` — "Armv7-like": 16 x 32-bit registers.
+* :data:`~repro.isa.registers.MR64` — "Armv8-like": 32 x 64-bit registers
+  (31 writable; ``r0`` is hardwired zero).
+
+Public surface:
+
+* :func:`assemble` — source text -> :class:`Program`.
+* :func:`decode` / :func:`encode` — word-level codec.
+* :func:`register_set` — architectural register metadata.
+* :mod:`repro.isa.layout` — the physical memory map.
+"""
+
+from .assembler import Assembler, assemble
+from .disassembler import disassemble_range, disassemble_word, format_instr
+from .encoding import Decoded, bit_flip_kind, decode, encode
+from .errors import AssemblerError, DecodeError, EncodingError, IsaError
+from .instructions import BY_MNEMONIC, BY_OPCODE, InstrDef, lookup
+from .program import Program, Section
+from .registers import (
+    ISA_NAMES,
+    MR32,
+    MR64,
+    RegisterSet,
+    parse_register,
+    register_set,
+)
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "BY_MNEMONIC",
+    "BY_OPCODE",
+    "Decoded",
+    "DecodeError",
+    "EncodingError",
+    "ISA_NAMES",
+    "InstrDef",
+    "IsaError",
+    "MR32",
+    "MR64",
+    "Program",
+    "RegisterSet",
+    "Section",
+    "assemble",
+    "bit_flip_kind",
+    "decode",
+    "disassemble_range",
+    "disassemble_word",
+    "encode",
+    "format_instr",
+    "lookup",
+    "parse_register",
+    "register_set",
+]

@@ -1,0 +1,618 @@
+"""A two-pass text assembler for mRISC.
+
+The assembler accepts a conventional assembly dialect::
+
+    .text
+    _start:
+        li   r1, 0x1234         # pseudo: expands to lui/ori or addi
+        la   r2, buffer         # pseudo: always lui+ori
+        lw   r3, 4(r2)
+        addw r3, r3, r1
+        sw   r3, 4(r2)
+        beqz r3, done
+        call helper
+    done:
+        li   r1, 0              # SYS_EXIT
+        syscall
+    .data
+    buffer:
+        .word 1, 2, 3, 4
+        .asciiz "hello"
+
+Supported directives: ``.text``, ``.data``, ``.word``, ``.half``,
+``.byte``, ``.dword``, ``.ascii``, ``.asciiz``, ``.space``, ``.align``,
+``.equ``.
+
+Pseudo-instructions: ``nop``, ``mv``, ``li``, ``la``, ``not``, ``neg``,
+``ret``, ``call``, ``b``, ``beqz``, ``bnez``, ``bgt``, ``ble``,
+``bgtu``, ``bleu``, ``seqz``, ``snez``.
+
+Expressions in immediate positions support integer literals (decimal,
+hex, character), ``.equ`` constants, labels, unary minus and binary
+``+``/``-``/``*``/``<<``/``>>``/``|``/``&``.
+
+Workloads that need heavier macro machinery generate their assembly
+from Python (see :mod:`repro.workloads.common`), which keeps the
+assembler itself small and predictable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .encoding import encode
+from .errors import AssemblerError
+from .instructions import (
+    BY_MNEMONIC,
+    FMT_B,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    FMT_RJ,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    InstrDef,
+)
+from .program import Program, Section, default_user_bases
+from .registers import RegisterSet, parse_register, register_set
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_OPERAND_RE = re.compile(r"^(?P<off>.*?)\(\s*(?P<base>[\w$]+)\s*\)$")
+
+#: Pseudo-branches that swap their operands onto a real branch.
+_SWAPPED_BRANCHES = {"bgt": "blt", "ble": "bge", "bgtu": "bltu",
+                     "bleu": "bgeu"}
+
+
+@dataclass
+class _Item:
+    """One instruction slot produced by pass 1 (may expand to >1 word)."""
+
+    mnemonic: str
+    operands: list[str]
+    addr: int
+    n_words: int
+    line_no: int
+    line: str
+
+
+@dataclass
+class _SectionState:
+    name: str
+    base: int
+    #: Parallel streams: raw data bytes emitted so far, plus pending
+    #: instruction items to be encoded in pass 2 at fixed offsets.
+    data: bytearray = field(default_factory=bytearray)
+    items: list[_Item] = field(default_factory=list)
+
+    @property
+    def pc(self) -> int:
+        return self.base + len(self.data)
+
+
+class Assembler:
+    """Two-pass assembler; one instance per source compilation."""
+
+    def __init__(self, isa: str,
+                 bases: dict[str, int] | None = None) -> None:
+        self.isa = isa
+        self.regs: RegisterSet = register_set(isa)
+        self.bases = dict(bases or default_user_bases())
+        self.symbols: dict[str, int] = {}
+        self.equates: dict[str, int] = {}
+        self._sections: dict[str, _SectionState] = {}
+        self._current: _SectionState | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def assemble(self, source: str, name: str = "<anonymous>") -> Program:
+        """Assemble *source* and return the resulting :class:`Program`."""
+        self._pass_one(source)
+        self._pass_two()
+        sections = [Section(st.name, st.base, st.data)
+                    for st in self._sections.values()]
+        entry = self.symbols.get("_start",
+                                 self.bases.get(".text", 0))
+        return Program(isa=self.isa, regs=self.regs, sections=sections,
+                       symbols=dict(self.symbols), entry=entry,
+                       source_name=name)
+
+    # ------------------------------------------------------------------
+    # pass 1: layout
+    # ------------------------------------------------------------------
+    def _section(self, name: str) -> _SectionState:
+        if name not in self._sections:
+            if name not in self.bases:
+                raise AssemblerError(f"no base address for section {name}")
+            self._sections[name] = _SectionState(name, self.bases[name])
+        return self._sections[name]
+
+    def _pass_one(self, source: str) -> None:
+        self._current = self._section(".text")
+        for line_no, raw_line in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw_line)
+            if not line:
+                continue
+            # Peel off any leading labels.
+            while True:
+                head, sep, rest = line.partition(":")
+                if sep and _LABEL_RE.match(head.strip()) \
+                        and '"' not in head:
+                    self._define_label(head.strip(), line_no, raw_line)
+                    line = rest.strip()
+                    if not line:
+                        break
+                else:
+                    break
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, line_no, raw_line)
+            else:
+                self._instruction(line, line_no, raw_line)
+
+    def _define_label(self, label: str, line_no: int, line: str) -> None:
+        if label in self.symbols or label in self.equates:
+            raise AssemblerError(f"duplicate symbol {label!r}", line_no,
+                                 line)
+        assert self._current is not None
+        self.symbols[label] = self._current.pc
+
+    def _directive(self, line: str, line_no: int, raw: str) -> None:
+        name, _, rest = line.partition(" ")
+        name = name.lower()
+        rest = rest.strip()
+        if name in (".text", ".data"):
+            self._current = self._section(name)
+            return
+        cur = self._current
+        assert cur is not None
+        if name == ".equ":
+            parts = [p.strip() for p in rest.split(",", 1)]
+            if len(parts) != 2 or not _LABEL_RE.match(parts[0]):
+                raise AssemblerError(".equ needs NAME, value", line_no, raw)
+            self.equates[parts[0]] = self._eval(parts[1], line_no, raw,
+                                                allow_labels=False)
+            return
+        if name in (".word", ".half", ".byte", ".dword"):
+            width = {".byte": 1, ".half": 2, ".word": 4, ".dword": 8}[name]
+            for expr in _split_operands(rest):
+                # Data words may reference labels; emit placeholders now
+                # and patch in pass 2 via a pseudo-item.
+                cur.items.append(_Item(f".fix{width}", [expr], cur.pc,
+                                       0, line_no, raw))
+                cur.data.extend(b"\x00" * width)
+            return
+        if name in (".ascii", ".asciiz"):
+            text = _parse_string(rest, line_no, raw)
+            cur.data.extend(text.encode("latin-1"))
+            if name == ".asciiz":
+                cur.data.append(0)
+            return
+        if name == ".space":
+            count = self._eval(rest, line_no, raw, allow_labels=False)
+            if count < 0:
+                raise AssemblerError(".space with negative size", line_no,
+                                     raw)
+            cur.data.extend(b"\x00" * count)
+            return
+        if name == ".align":
+            unit = self._eval(rest, line_no, raw, allow_labels=False)
+            if unit <= 0 or unit & (unit - 1):
+                raise AssemblerError(".align needs a power of two",
+                                     line_no, raw)
+            while cur.pc % unit:
+                cur.data.append(0)
+            return
+        raise AssemblerError(f"unknown directive {name}", line_no, raw)
+
+    def _instruction(self, line: str, line_no: int, raw: str) -> None:
+        cur = self._current
+        assert cur is not None
+        if cur.name != ".text":
+            raise AssemblerError("instruction outside .text", line_no, raw)
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        operands = _split_operands(rest)
+        n_words = self._instr_size(mnemonic, operands, line_no, raw)
+        cur.items.append(_Item(mnemonic, operands, cur.pc, n_words,
+                               line_no, raw))
+        cur.data.extend(b"\x00" * (4 * n_words))
+
+    def _instr_size(self, mnemonic: str, operands: list[str],
+                    line_no: int, raw: str) -> int:
+        """Number of 32-bit words the (pseudo-)instruction expands to."""
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError("li needs rd, imm", line_no, raw)
+            value = self._eval(operands[1], line_no, raw,
+                               allow_labels=False)
+            try:
+                return _li_length(value, self.regs.xlen)
+            except ValueError as exc:
+                raise AssemblerError(str(exc), line_no, raw) from None
+        if mnemonic == "la":
+            return 2
+        if mnemonic in BY_MNEMONIC or mnemonic in _PSEUDO_SINGLE \
+                or mnemonic in _SWAPPED_BRANCHES:
+            return 1
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no, raw)
+
+    # ------------------------------------------------------------------
+    # pass 2: encode
+    # ------------------------------------------------------------------
+    def _pass_two(self) -> None:
+        for st in self._sections.values():
+            for item in st.items:
+                if item.mnemonic.startswith(".fix"):
+                    width = int(item.mnemonic[4:])
+                    value = self._eval(item.operands[0], item.line_no,
+                                       item.line)
+                    off = item.addr - st.base
+                    st.data[off:off + width] = (
+                        value & ((1 << (8 * width)) - 1)
+                    ).to_bytes(width, "little")
+                    continue
+                words = self._encode_item(item)
+                if len(words) != item.n_words:  # pragma: no cover
+                    raise AssemblerError(
+                        f"size mismatch expanding {item.mnemonic}",
+                        item.line_no, item.line)
+                off = item.addr - st.base
+                for i, word in enumerate(words):
+                    st.data[off + 4 * i:off + 4 * i + 4] = \
+                        word.to_bytes(4, "little")
+
+    def _encode_item(self, item: _Item) -> list[int]:
+        mnemonic, ops = item.mnemonic, item.operands
+        line_no, raw = item.line_no, item.line
+        err = lambda msg: AssemblerError(msg, line_no, raw)  # noqa: E731
+
+        expanded = self._expand_pseudo(mnemonic, ops, item)
+        if expanded is not None:
+            return expanded
+
+        d = BY_MNEMONIC.get(mnemonic)
+        if d is None:
+            raise err(f"unknown mnemonic {mnemonic!r}")
+        if d.mr64_only and self.regs.xlen == 32:
+            if d.narrow_alias is None:
+                raise err(f"{mnemonic} not available on {self.isa}")
+            d = BY_MNEMONIC[d.narrow_alias]
+            mnemonic = d.mnemonic
+
+        reg = lambda tok: self._reg(tok, line_no, raw)  # noqa: E731
+        ev = lambda tok: self._eval(tok, line_no, raw)  # noqa: E731
+
+        fmt = d.fmt
+        if fmt == FMT_R:
+            self._arity(ops, 3, mnemonic, line_no, raw)
+            return [encode(mnemonic, d, rd=reg(ops[0]), rs1=reg(ops[1]),
+                           rs2=reg(ops[2]))]
+        if fmt == FMT_I and d.mem_bytes:  # loads
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            off, base = self._mem_operand(ops[1], line_no, raw)
+            return [encode(mnemonic, d, rd=reg(ops[0]), rs1=base, imm=off)]
+        if fmt == FMT_I:
+            self._arity(ops, 3, mnemonic, line_no, raw)
+            return [encode(mnemonic, d, rd=reg(ops[0]), rs1=reg(ops[1]),
+                           imm=ev(ops[2]))]
+        if fmt == FMT_U:
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [encode(mnemonic, d, rd=reg(ops[0]), imm=ev(ops[1]))]
+        if fmt == FMT_S:
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            off, base = self._mem_operand(ops[1], line_no, raw)
+            return [encode(mnemonic, d, rs1=base, rs2=reg(ops[0]),
+                           imm=off)]
+        if fmt == FMT_B:
+            self._arity(ops, 3, mnemonic, line_no, raw)
+            target = ev(ops[2])
+            return [encode(mnemonic, d, rs1=reg(ops[0]), rs2=reg(ops[1]),
+                           imm=target - (item.addr + 4))]
+        if fmt == FMT_J:
+            self._arity(ops, 1, mnemonic, line_no, raw)
+            return [encode(mnemonic, d, imm=ev(ops[0]) - (item.addr + 4))]
+        if fmt == FMT_RJ:
+            if mnemonic == "jr":
+                self._arity(ops, 1, mnemonic, line_no, raw)
+                return [encode(mnemonic, d, rs1=reg(ops[0]))]
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [encode(mnemonic, d, rd=reg(ops[0]), rs1=reg(ops[1]))]
+        if fmt == FMT_SYS:
+            self._arity(ops, 0, mnemonic, line_no, raw)
+            return [encode(mnemonic, d)]
+        raise err(f"unhandled format for {mnemonic}")  # pragma: no cover
+
+    def _expand_pseudo(self, mnemonic: str, ops: list[str],
+                       item: _Item) -> list[int] | None:
+        """Expand a pseudo-instruction, or return None if not a pseudo."""
+        line_no, raw = item.line_no, item.line
+        reg = lambda tok: self._reg(tok, line_no, raw)  # noqa: E731
+        ev = lambda tok: self._eval(tok, line_no, raw)  # noqa: E731
+        enc = lambda m, **kw: encode(m, BY_MNEMONIC[m], **kw)  # noqa: E731
+
+        if mnemonic == "nop":
+            return [enc("addi", rd=0, rs1=0, imm=0)]
+        if mnemonic == "mv":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [enc("addi", rd=reg(ops[0]), rs1=reg(ops[1]), imm=0)]
+        if mnemonic == "not":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [enc("xori", rd=reg(ops[0]), rs1=reg(ops[1]), imm=-1)]
+        if mnemonic == "neg":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [enc("sub", rd=reg(ops[0]), rs1=0, rs2=reg(ops[1]))]
+        if mnemonic == "snez":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            return [enc("sltu", rd=reg(ops[0]), rs1=0, rs2=reg(ops[1]))]
+        if mnemonic == "ret":
+            return [enc("jr", rs1=self.regs.link_reg)]
+        if mnemonic == "call":
+            self._arity(ops, 1, mnemonic, line_no, raw)
+            return [enc("jal", imm=ev(ops[0]) - (item.addr + 4))]
+        if mnemonic == "b":
+            self._arity(ops, 1, mnemonic, line_no, raw)
+            return [enc("j", imm=ev(ops[0]) - (item.addr + 4))]
+        if mnemonic in ("beqz", "bnez"):
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            real = "beq" if mnemonic == "beqz" else "bne"
+            return [enc(real, rs1=reg(ops[0]), rs2=0,
+                        imm=ev(ops[1]) - (item.addr + 4))]
+        if mnemonic in _SWAPPED_BRANCHES:
+            self._arity(ops, 3, mnemonic, line_no, raw)
+            real = _SWAPPED_BRANCHES[mnemonic]
+            return [enc(real, rs1=reg(ops[1]), rs2=reg(ops[0]),
+                        imm=ev(ops[2]) - (item.addr + 4))]
+        if mnemonic == "li":
+            value = self._eval(ops[1], line_no, raw, allow_labels=False)
+            return _li_words(reg(ops[0]), value, self.regs.xlen)
+        if mnemonic == "la":
+            self._arity(ops, 2, mnemonic, line_no, raw)
+            value = ev(ops[1]) & 0xFFFF_FFFF
+            rd = reg(ops[0])
+            return [enc("lui", rd=rd, imm=(value >> 16) & 0xFFFF),
+                    enc("ori", rd=rd, rs1=rd, imm=value & 0xFFFF)]
+        return None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _arity(self, ops: list[str], n: int, mnemonic: str,
+               line_no: int, raw: str) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"{mnemonic} expects {n} operand(s), got {len(ops)}",
+                line_no, raw)
+
+    def _reg(self, token: str, line_no: int, raw: str) -> int:
+        try:
+            return parse_register(token, self.regs)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no, raw) from None
+
+    def _mem_operand(self, token: str, line_no: int,
+                     raw: str) -> tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(token.strip())
+        if not match:
+            raise AssemblerError(
+                f"expected off(reg) memory operand, got {token!r}",
+                line_no, raw)
+        off_text = match.group("off").strip() or "0"
+        offset = self._eval(off_text, line_no, raw)
+        base = self._reg(match.group("base"), line_no, raw)
+        return offset, base
+
+    def _eval(self, expr: str, line_no: int, raw: str,
+              allow_labels: bool = True) -> int:
+        try:
+            return _eval_expr(expr, self.equates,
+                              self.symbols if allow_labels else None)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no, raw) from None
+
+
+# ---------------------------------------------------------------------------
+# li expansion
+# ---------------------------------------------------------------------------
+def _li_length(value: int, xlen: int) -> int:
+    if -0x8000 <= value < 0x8000:
+        return 1
+    if -0x8000_0000 <= value < 0x1_0000_0000:
+        return 2
+    if xlen == 32:
+        raise ValueError(f"li constant {value:#x} does not fit in 32 bits")
+    return 6  # full 64-bit constant: lui/ori + shifts
+
+
+def _li_words(rd: int, value: int, xlen: int) -> list[int]:
+    enc = lambda m, **kw: encode(m, BY_MNEMONIC[m], **kw)  # noqa: E731
+    length = _li_length(value, xlen)
+    if length == 1:
+        return [enc("addi", rd=rd, rs1=0, imm=value)]
+    if length == 2:
+        v32 = value & 0xFFFF_FFFF
+        return [enc("lui", rd=rd, imm=(v32 >> 16) & 0xFFFF),
+                enc("ori", rd=rd, rs1=rd, imm=v32 & 0xFFFF)]
+    v = value & 0xFFFF_FFFF_FFFF_FFFF
+    return [enc("lui", rd=rd, imm=(v >> 48) & 0xFFFF),
+            enc("ori", rd=rd, rs1=rd, imm=(v >> 32) & 0xFFFF),
+            enc("slli", rd=rd, rs1=rd, imm=16),
+            enc("ori", rd=rd, rs1=rd, imm=(v >> 16) & 0xFFFF),
+            enc("slli", rd=rd, rs1=rd, imm=16),
+            enc("ori", rd=rd, rs1=rd, imm=v & 0xFFFF)]
+
+
+#: pseudo-instructions that always expand to exactly one word
+_PSEUDO_SINGLE = frozenset({"nop", "mv", "not", "neg", "ret", "call", "b",
+                            "beqz", "bnez", "snez"})
+
+
+# ---------------------------------------------------------------------------
+# lexical helpers
+# ---------------------------------------------------------------------------
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        if not in_string:
+            if ch == "#" or ch == ";":
+                break
+            if ch == "/" and line[i:i + 2] == "//":
+                break
+        out.append(ch)
+        i += 1
+    return "".join(out).strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas, respecting string quotes."""
+    text = text.strip()
+    if not text:
+        return []
+    parts: list[str] = []
+    depth_string = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            depth_string = not depth_string
+        if ch == "," and not depth_string:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+def _parse_string(text: str, line_no: int, raw: str) -> str:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblerError("expected a double-quoted string", line_no,
+                             raw)
+    body = text[1:-1]
+    return (body.replace("\\n", "\n").replace("\\t", "\t")
+            .replace("\\0", "\0").replace('\\"', '"'))
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lshift><<)|(?P<rshift>>>)|(?P<op>[-+*|&()])"
+    r"|(?P<char>'(?:\\.|[^'])')"
+    r"|(?P<num>0[xX][0-9a-fA-F]+|\d+)"
+    r"|(?P<name>[A-Za-z_.$][\w.$]*))")
+
+
+def _eval_expr(expr: str, equates: dict[str, int],
+               symbols: dict[str, int] | None) -> int:
+    """Evaluate a constant expression (shunting-yard-free, recursive)."""
+    tokens = _tokenise(expr)
+    pos = [0]
+
+    def peek() -> str | None:
+        return tokens[pos[0]] if pos[0] < len(tokens) else None
+
+    def take() -> str:
+        tok = tokens[pos[0]]
+        pos[0] += 1
+        return tok
+
+    def atom() -> int:
+        tok = peek()
+        if tok is None:
+            raise ValueError(f"truncated expression {expr!r}")
+        take()
+        if tok == "-":
+            return -atom()
+        if tok == "(":
+            value = level_or()
+            if peek() != ")":
+                raise ValueError(f"missing ')' in {expr!r}")
+            take()
+            return value
+        if tok.startswith("'"):
+            inner = tok[1:-1]
+            inner = inner.replace("\\n", "\n").replace("\\t", "\t") \
+                         .replace("\\0", "\0").replace("\\'", "'")
+            if len(inner) != 1:
+                raise ValueError(f"bad character literal {tok}")
+            return ord(inner)
+        if tok[0].isdigit():
+            return int(tok, 0)
+        if tok in equates:
+            return equates[tok]
+        if symbols is not None and tok in symbols:
+            return symbols[tok]
+        raise ValueError(f"undefined symbol {tok!r} in {expr!r}")
+
+    def level_mul() -> int:
+        value = atom()
+        while peek() == "*":
+            take()
+            value *= atom()
+        return value
+
+    def level_add() -> int:
+        value = level_mul()
+        while peek() in ("+", "-"):
+            if take() == "+":
+                value += level_mul()
+            else:
+                value -= level_mul()
+        return value
+
+    def level_shift() -> int:
+        value = level_add()
+        while peek() in ("<<", ">>"):
+            if take() == "<<":
+                value <<= level_add()
+            else:
+                value >>= level_add()
+        return value
+
+    def level_and() -> int:
+        value = level_shift()
+        while peek() == "&":
+            take()
+            value &= level_shift()
+        return value
+
+    def level_or() -> int:
+        value = level_and()
+        while peek() == "|":
+            take()
+            value |= level_and()
+        return value
+
+    result = level_or()
+    if pos[0] != len(tokens):
+        raise ValueError(f"trailing junk in expression {expr!r}")
+    return result
+
+
+def _tokenise(expr: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(expr):
+        match = _TOKEN_RE.match(expr, pos)
+        if not match or match.end() == pos:
+            if expr[pos:].strip():
+                raise ValueError(f"cannot tokenise {expr!r} at {pos}")
+            break
+        token = match.group().strip()
+        if token:
+            tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+def assemble(source: str, isa: str, name: str = "<anonymous>",
+             bases: dict[str, int] | None = None) -> Program:
+    """Convenience wrapper: assemble *source* for *isa*."""
+    return Assembler(isa, bases=bases).assemble(source, name=name)

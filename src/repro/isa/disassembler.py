@@ -1,0 +1,74 @@
+"""Disassembly of mRISC words — used in debug traces and fault reports."""
+
+from __future__ import annotations
+
+from .encoding import Decoded, decode
+from .errors import DecodeError
+from .instructions import (
+    FMT_B,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    FMT_RJ,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+)
+from .registers import RegisterSet
+
+
+def format_instr(instr: Decoded, regs: RegisterSet,
+                 pc: int | None = None) -> str:
+    """Render a decoded instruction as assembly text.
+
+    When *pc* is given, branch/jump targets are shown as absolute
+    addresses instead of relative offsets.
+    """
+    name = lambda index: regs.name(index)  # noqa: E731
+    fmt = instr.d.fmt
+    if fmt == FMT_R:
+        return (f"{instr.op} {name(instr.rd)}, {name(instr.rs1)}, "
+                f"{name(instr.rs2)}")
+    if fmt == FMT_I and instr.d.mem_bytes:
+        return f"{instr.op} {name(instr.rd)}, {instr.imm}({name(instr.rs1)})"
+    if fmt == FMT_I:
+        return f"{instr.op} {name(instr.rd)}, {name(instr.rs1)}, {instr.imm}"
+    if fmt == FMT_U:
+        return f"{instr.op} {name(instr.rd)}, {instr.imm & 0xFFFF:#x}"
+    if fmt == FMT_S:
+        return f"{instr.op} {name(instr.rs2)}, {instr.imm}({name(instr.rs1)})"
+    if fmt == FMT_B:
+        target = (f"{pc + 4 + instr.imm:#x}" if pc is not None
+                  else f".{instr.imm:+d}")
+        return f"{instr.op} {name(instr.rs1)}, {name(instr.rs2)}, {target}"
+    if fmt == FMT_J:
+        target = (f"{pc + 4 + instr.imm:#x}" if pc is not None
+                  else f".{instr.imm:+d}")
+        return f"{instr.op} {target}"
+    if fmt == FMT_RJ:
+        if instr.op == "jr":
+            return f"jr {name(instr.rs1)}"
+        return f"jalr {name(instr.rd)}, {name(instr.rs1)}"
+    if fmt == FMT_SYS:
+        return instr.op
+    return f"{instr.op} <raw {instr.raw:#010x}>"  # pragma: no cover
+
+
+def disassemble_word(word: int, regs: RegisterSet,
+                     pc: int | None = None) -> str:
+    """Decode + format one word; illegal words render as ``.illegal``."""
+    try:
+        return format_instr(decode(word, regs), regs, pc=pc)
+    except DecodeError as exc:
+        return f".illegal {word:#010x}  ; {exc.reason}"
+
+
+def disassemble_range(blob: bytes, base: int, regs: RegisterSet) -> str:
+    """Disassemble a byte blob into an address-annotated listing."""
+    lines = []
+    for off in range(0, len(blob) - len(blob) % 4, 4):
+        word = int.from_bytes(blob[off:off + 4], "little")
+        pc = base + off
+        lines.append(f"{pc:#010x}:  {word:08x}  "
+                     f"{disassemble_word(word, regs, pc=pc)}")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Binary encoding and strict decoding of mRISC instructions.
+
+All instructions are 32-bit words:
+
+======  ==========================================================
+bits    meaning
+======  ==========================================================
+31..26  opcode
+25..21  rd (R/I/U formats) or rs1 (S/B formats)
+20..16  rs1 (R/I) or rs2 (S/B)
+15..11  rs2 (R)
+15..0   imm16 (I/U/S/B)
+25..0   imm26 (J)
+10..0   func (R; must be zero)
+======  ==========================================================
+
+Decoding is *strict*: unused fields must be zero, register indices
+must be architecturally valid, and 64-bit-only opcodes are illegal on
+mRISC-32.  Strictness is a feature — it makes the instruction space
+behave like a real one under random bit flips (the Wrong Instruction /
+Wrong Operand fault propagation models of the paper depend on it).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .errors import DecodeError, EncodingError
+from .instructions import (
+    BY_OPCODE,
+    FMT_B,
+    FMT_I,
+    FMT_J,
+    FMT_R,
+    FMT_RJ,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    InstrDef,
+)
+from .registers import RegisterSet
+
+WORD_MASK = 0xFFFF_FFFF
+
+#: Bits [31:26] hold the opcode; a flip there is a Wrong Instruction
+#: (WI) manifestation, anything else is Wrong Operand/Immediate (WOI).
+OPCODE_SHIFT = 26
+OPCODE_BITS = frozenset(range(26, 32))
+
+
+class Decoded(NamedTuple):
+    """A decoded instruction instance.
+
+    ``imm`` is already sign-extended where the format calls for it, and
+    branch/jump offsets are in *bytes* (converted from word offsets).
+    """
+
+    op: str            # canonical mnemonic
+    d: InstrDef        # static definition (latency class, flags, ...)
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    raw: int           # the raw 32-bit word this was decoded from
+
+
+def _signed16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x1_0000 if value & 0x8000 else value
+
+
+def _signed26(value: int) -> int:
+    value &= 0x3FF_FFFF
+    return value - 0x400_0000 if value & 0x200_0000 else value
+
+
+def _check_imm16(imm: int, mnemonic: str) -> int:
+    if not -0x8000 <= imm <= 0xFFFF:
+        raise EncodingError(f"{mnemonic}: imm16 out of range: {imm}")
+    return imm & 0xFFFF
+
+
+def encode(mnemonic: str, d: InstrDef, rd: int = 0, rs1: int = 0,
+           rs2: int = 0, imm: int = 0) -> int:
+    """Encode one instruction into its 32-bit word.
+
+    ``imm`` for branches and jumps is the *byte* offset relative to
+    ``pc + 4`` and must be word-aligned.
+    """
+    op = d.opcode << OPCODE_SHIFT
+    fmt = d.fmt
+    if fmt == FMT_R:
+        return op | (rd << 21) | (rs1 << 16) | (rs2 << 11)
+    if fmt == FMT_I:
+        return op | (rd << 21) | (rs1 << 16) | _check_imm16(imm, mnemonic)
+    if fmt == FMT_U:
+        return op | (rd << 21) | _check_imm16(imm, mnemonic)
+    if fmt == FMT_S:
+        return op | (rs1 << 21) | (rs2 << 16) | _check_imm16(imm, mnemonic)
+    if fmt == FMT_B:
+        if imm % 4:
+            raise EncodingError(f"{mnemonic}: branch offset not word-aligned")
+        return op | (rs1 << 21) | (rs2 << 16) | _check_imm16(imm // 4,
+                                                             mnemonic)
+    if fmt == FMT_J:
+        if imm % 4:
+            raise EncodingError(f"{mnemonic}: jump offset not word-aligned")
+        words = imm // 4
+        if not -0x200_0000 <= words < 0x200_0000:
+            raise EncodingError(f"{mnemonic}: jump offset out of range")
+        return op | (words & 0x3FF_FFFF)
+    if fmt == FMT_RJ:
+        return op | (rd << 21) | (rs1 << 16)
+    if fmt == FMT_SYS:
+        return op
+    raise EncodingError(f"unknown format {fmt!r} for {mnemonic}")
+
+
+def decode(word: int, regs: RegisterSet) -> Decoded:
+    """Strictly decode a 32-bit word for the given register set.
+
+    Raises :class:`DecodeError` for any word that is not a canonical
+    encoding of a valid instruction on this ISA variant.
+    """
+    word &= WORD_MASK
+    d = BY_OPCODE.get(word >> OPCODE_SHIFT)
+    if d is None:
+        raise DecodeError(word, "unassigned opcode")
+    if d.mr64_only and regs.xlen == 32:
+        raise DecodeError(word, f"{d.mnemonic} is mRISC-64 only")
+
+    f1 = (word >> 21) & 0x1F
+    f2 = (word >> 16) & 0x1F
+    f3 = (word >> 11) & 0x1F
+    imm16 = word & 0xFFFF
+    fmt = d.fmt
+
+    def reg(index: int, role: str) -> int:
+        if not regs.is_valid(index):
+            raise DecodeError(word, f"{role} register {index} invalid "
+                                    f"on {regs.isa}")
+        return index
+
+    if fmt == FMT_R:
+        if word & 0x7FF:
+            raise DecodeError(word, "nonzero func field in R-type")
+        return Decoded(d.mnemonic, d, reg(f1, "rd"), reg(f2, "rs1"),
+                       reg(f3, "rs2"), 0, word)
+    if fmt == FMT_I:
+        return Decoded(d.mnemonic, d, reg(f1, "rd"), reg(f2, "rs1"), 0,
+                       _signed16(imm16), word)
+    if fmt == FMT_U:
+        if f2:
+            raise DecodeError(word, "nonzero rs1 field in U-type")
+        return Decoded(d.mnemonic, d, reg(f1, "rd"), 0, 0,
+                       _signed16(imm16), word)
+    if fmt == FMT_S:
+        return Decoded(d.mnemonic, d, 0, reg(f1, "base"), reg(f2, "src"),
+                       _signed16(imm16), word)
+    if fmt == FMT_B:
+        return Decoded(d.mnemonic, d, 0, reg(f1, "rs1"), reg(f2, "rs2"),
+                       _signed16(imm16) * 4, word)
+    if fmt == FMT_J:
+        return Decoded(d.mnemonic, d, 0, 0, 0, _signed26(word) * 4, word)
+    if fmt == FMT_RJ:
+        if word & 0xFFFF:
+            raise DecodeError(word, "nonzero low field in register jump")
+        return Decoded(d.mnemonic, d, reg(f1, "rd"), reg(f2, "rs1"),
+                       0, 0, word)
+    if fmt == FMT_SYS:
+        if word & 0x3FF_FFFF:
+            raise DecodeError(word, "nonzero operand bits in system op")
+        return Decoded(d.mnemonic, d, 0, 0, 0, 0, word)
+    raise DecodeError(word, f"unhandled format {fmt!r}")  # pragma: no cover
+
+
+def bit_flip_kind(bit: int) -> str:
+    """Classify an instruction-word bit position for FPM purposes.
+
+    Returns ``"opcode"`` (a flip there manifests as Wrong Instruction)
+    or ``"operand"`` (Wrong Operand or Immediate).
+    """
+    if not 0 <= bit < 32:
+        raise ValueError(f"bit index {bit} out of range for a 32-bit word")
+    return "opcode" if bit in OPCODE_BITS else "operand"

@@ -1,0 +1,54 @@
+"""Exception types raised by the ISA toolchain.
+
+Two families of errors exist in this package:
+
+* *Toolchain* errors (:class:`AssemblerError`, :class:`EncodingError`)
+  indicate a bug in a workload or in user code driving the assembler.
+  They are raised eagerly at program-build time.
+
+* :class:`DecodeError` is different: it is part of the *simulated*
+  machine semantics.  A fault-injection campaign flips bits in
+  instruction words, and the resulting word may not decode.  The
+  simulator catches :class:`DecodeError` and turns it into an
+  illegal-instruction exception of the simulated CPU (which typically
+  crashes the simulated process).
+"""
+
+from __future__ import annotations
+
+
+class IsaError(Exception):
+    """Base class for all ISA toolchain errors."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded (field out of range, wrong ISA)."""
+
+
+class DecodeError(IsaError):
+    """A 32-bit word does not decode to a valid instruction.
+
+    Attributes
+    ----------
+    word:
+        The raw 32-bit instruction word that failed to decode.
+    reason:
+        Human-readable explanation (bad opcode, bad register index, ...).
+    """
+
+    def __init__(self, word: int, reason: str) -> None:
+        super().__init__(f"cannot decode word {word:#010x}: {reason}")
+        self.word = word
+        self.reason = reason
+
+
+class AssemblerError(IsaError):
+    """A source-level assembly error, annotated with a line number."""
+
+    def __init__(self, message: str, line_no: int | None = None,
+                 line: str | None = None) -> None:
+        location = f" (line {line_no})" if line_no is not None else ""
+        snippet = f": {line.strip()!r}" if line else ""
+        super().__init__(f"{message}{location}{snippet}")
+        self.line_no = line_no
+        self.line = line

@@ -1,0 +1,59 @@
+"""Physical memory map of the simulated machine.
+
+The machine uses a flat 32-bit physical address space with no virtual
+memory (the paper's concerns about virtual-memory PVF ambiguity are
+discussed in DESIGN.md; the program-flow definition adopted by the
+paper — and by this reproduction — makes the analysis independent of
+the virtual-memory question).
+
+The low half belongs to user space, the upper half to the kernel.
+Addresses at or above :data:`KERNEL_BASE` are inaccessible in user
+mode; touching them raises a privilege fault (process crash), while a
+fault raised *in* kernel mode is a kernel panic.
+
+Page 0 is intentionally unmapped so null-pointer dereferences crash.
+"""
+
+from __future__ import annotations
+
+#: Size of one allocation page in the sparse memory model.
+PAGE_SIZE = 4096
+
+#: First unmapped page: null-pointer traps.
+NULL_PAGE_END = 0x0000_1000
+
+USER_CODE_BASE = 0x0000_1000
+USER_DATA_BASE = 0x0001_0000
+USER_STACK_BASE = 0x0002_0000
+USER_STACK_TOP = 0x0002_FFF0       # initial user sp (16-byte aligned)
+USER_STACK_END = 0x0003_0000
+
+#: Everything at or above this address is kernel-only.
+KERNEL_BASE = 0x8000_0000
+
+KERNEL_CODE_BASE = 0x8000_0000
+KERNEL_DATA_BASE = 0x8001_0000
+KERNEL_STACK_TOP = 0x8002_FF00
+
+#: The kernel copies `sys_write` payloads here; a DMA engine drains the
+#: region coherently at program end, *bypassing the pipeline* — the
+#: channel through which "Escaped" (ESC) faults corrupt program output.
+OUTPUT_BASE = 0x9000_0000
+OUTPUT_LIMIT = 0x9001_0000
+
+#: Kernel variable holding the number of output bytes produced so far.
+#: (Lives in kernel data; read by the DMA drain.)
+OUTPUT_LEN_ADDR = KERNEL_DATA_BASE
+
+#: Kernel scratch area used by the trap handler to spill user registers.
+KERNEL_SAVE_AREA = KERNEL_DATA_BASE + 0x100
+
+
+def is_kernel_addr(addr: int) -> bool:
+    """Whether *addr* lies in kernel-only space."""
+    return addr >= KERNEL_BASE
+
+
+def page_base(addr: int) -> int:
+    """Base address of the page containing *addr*."""
+    return addr & ~(PAGE_SIZE - 1)

@@ -1,0 +1,19 @@
+"""Mini operating system for the simulated machine.
+
+Provides the syscall ABI (:mod:`repro.kernel.syscalls`), the trap
+handler written in mRISC assembly (:mod:`repro.kernel.kernel_asm`) and
+the system-image loader (:mod:`repro.kernel.loader`).
+"""
+
+from .kernel_asm import kernel_program, kernel_source
+from .loader import SystemImage, build_system_image
+from .syscalls import SYS_EXIT, SYS_WRITE
+
+__all__ = [
+    "SYS_EXIT",
+    "SYS_WRITE",
+    "SystemImage",
+    "build_system_image",
+    "kernel_program",
+    "kernel_source",
+]

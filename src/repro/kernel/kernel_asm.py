@@ -1,0 +1,134 @@
+"""The mini-kernel, written in mRISC assembly.
+
+The kernel is a single trap handler living at ``KERNEL_CODE_BASE``.
+``syscall`` jumps here in kernel mode; the handler dispatches on the
+syscall number, performs the service and returns with ``eret``:
+
+* ``SYS_WRITE`` spills a full trap frame (every user register except
+  the contractually caller-saved ``r1``), bounds-checks the request,
+  copies the user buffer byte-by-byte into the DMA output region,
+  advances the output cursor, restores the frame and returns the byte
+  count.
+* ``SYS_EXIT`` records the exit code in kernel data and halts the
+  machine.
+
+Because the kernel executes through the same simulated pipeline as
+user code, faults injected while it runs are part of the cross-layer
+AVF and of the architecture-level PVF — but invisible to LLFI-style
+SVF measurement, exactly as in the paper.  The unrolled trap-frame
+spill/restore also gives syscalls a realistic kernel-time share
+(the paper reports ~19.5% kernel time for sha).
+
+Syscall ABI: ``r1`` carries the number in and the result out, so it is
+the kernel's contractual scratch register (dispatch branches read it
+before anything is clobbered); every other user register is preserved
+via the trap frame.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..isa import layout
+from ..isa.assembler import assemble
+from ..isa.program import Program, default_kernel_bases
+from ..isa.registers import register_set
+from .syscalls import EXIT_CODE_OFFSET, SYS_EXIT, SYS_WRITE
+
+
+def kernel_source(isa: str) -> str:
+    """Generate the kernel's assembly source for an ISA variant."""
+    regs = register_set(isa)
+    save_op = "sd" if regs.xlen == 64 else "sw"
+    load_op = "ld" if regs.xlen == 64 else "lw"
+    slot = regs.word_bytes
+    n = regs.count
+
+    body: list[str] = []
+    emit = body.append
+    emit(f"# mini-kernel for {isa}")
+    emit(f".equ SAVE, {layout.KERNEL_SAVE_AREA}")
+    emit(f".equ OUTBASE, {layout.OUTPUT_BASE}")
+    emit(f".equ OUTLEN_ADDR, {layout.OUTPUT_LEN_ADDR}")
+    emit(f".equ EXITCODE_ADDR, {layout.KERNEL_DATA_BASE + EXIT_CODE_OFFSET}")
+    emit(f".equ OUTCAP, {layout.OUTPUT_LIMIT - layout.OUTPUT_BASE}")
+    emit(f".equ SYS_EXIT, {SYS_EXIT}")
+    emit(f".equ SYS_WRITE, {SYS_WRITE}")
+    emit(".text")
+    emit("_start:")
+    emit("    # dispatch first: branches read r1 without clobbering state")
+    emit("    beqz r1, k_exit")
+    emit("    addi r1, r1, -1          # r1 == SYS_WRITE ?")
+    emit("    beqz r1, k_write")
+    emit("    li   r1, -1              # unknown syscall")
+    emit("    eret")
+    emit("")
+    emit("k_exit:")
+    emit("    la   r1, EXITCODE_ADDR")
+    emit("    sw   r2, 0(r1)")
+    emit("    halt")
+    emit("")
+    emit("k_write:")
+    emit("    # ---- trap frame: spill every preserved register")
+    emit("    la   r1, SAVE")
+    for i in range(2, n):
+        emit(f"    {save_op} r{i}, {(i - 2) * slot}(r1)")
+    emit("    # ---- bounds check: len < 0 or out_len + len > capacity")
+    emit("    la   r5, OUTLEN_ADDR")
+    emit("    lw   r6, 0(r5)           # r6 = out_len")
+    emit("    blt  r3, r0, kw_fail")
+    emit("    add  r7, r6, r3")
+    emit("    li   r8, OUTCAP")
+    emit("    bgt  r7, r8, kw_fail")
+    emit("    # ---- copy: dst = OUTBASE + out_len, src = r2, count = r3")
+    emit("    # word-at-a-time when both pointers are 4-aligned (the")
+    emit("    # usual kernel memcpy fast path), bytes otherwise")
+    emit("    la   r7, OUTBASE")
+    emit("    add  r7, r7, r6")
+    emit("    beqz r3, kw_done")
+    emit("    or   r8, r2, r7")
+    emit("    andi r8, r8, 3")
+    emit("    bnez r8, kw_bloop")
+    emit("kw_wloop:")
+    emit("    slti r8, r3, 4")
+    emit("    bnez r8, kw_btail")
+    emit("    lw   r8, 0(r2)")
+    emit("    sw   r8, 0(r7)")
+    emit("    addi r2, r2, 4")
+    emit("    addi r7, r7, 4")
+    emit("    addi r3, r3, -4")
+    emit("    bnez r3, kw_wloop")
+    emit("    b    kw_done")
+    emit("kw_btail:")
+    emit("    beqz r3, kw_done")
+    emit("kw_bloop:")
+    emit("    lbu  r8, 0(r2)")
+    emit("    sb   r8, 0(r7)")
+    emit("    addi r2, r2, 1")
+    emit("    addi r7, r7, 1")
+    emit("    addi r3, r3, -1")
+    emit("    bnez r3, kw_bloop")
+    emit("kw_done:")
+    emit("    # ---- out_len += len (len reloaded from the frame)")
+    emit(f"    {load_op} r3, {slot}(r1)            # original r3 = len")
+    emit("    add  r6, r6, r3")
+    emit("    sw   r6, 0(r5)")
+    emit("    # ---- restore the frame; result = byte count")
+    for i in range(2, n):
+        emit(f"    {load_op} r{i}, {(i - 2) * slot}(r1)")
+    emit(f"    {load_op} r1, {slot}(r1)            # result = len")
+    emit("    eret")
+    emit("")
+    emit("kw_fail:")
+    for i in range(2, n):
+        emit(f"    {load_op} r{i}, {(i - 2) * slot}(r1)")
+    emit("    li   r1, -1")
+    emit("    eret")
+    return "\n".join(body)
+
+
+@lru_cache(maxsize=None)
+def kernel_program(isa: str) -> Program:
+    """Assemble (and cache) the kernel image for an ISA variant."""
+    return assemble(kernel_source(isa), isa, name="kernel",
+                    bases=default_kernel_bases())

@@ -1,0 +1,25 @@
+"""Syscall ABI of the simulated machine.
+
+The ABI is deliberately tiny — the paper's full-system effects need a
+kernel that (a) executes real instructions through the same pipeline
+(so PVF sees it and SVF does not), (b) copies user output into a
+DMA-visible region (the ESC channel), and (c) can panic.
+
+Calling convention: syscall number in ``r1``, arguments in ``r2``-``r4``,
+return value in ``r1``.  The kernel preserves every user register
+(full trap-frame save/restore — this is also where a large share of
+kernel-mode execution time comes from, mirroring the paper's
+observation that ~19.5% of sha's execution is kernel time).
+"""
+
+from __future__ import annotations
+
+#: Terminate the program; ``r2`` = exit code.
+SYS_EXIT = 0
+
+#: Append ``r3`` bytes at user address ``r2`` to the program output.
+SYS_WRITE = 1
+
+#: Offsets of kernel-data variables (relative to KERNEL_DATA_BASE).
+OUT_LEN_OFFSET = 0       # 32-bit: bytes of output produced so far
+EXIT_CODE_OFFSET = 8     # 32-bit: exit code stored by SYS_EXIT

@@ -1,0 +1,57 @@
+"""Microarchitecture simulation substrate (the gem5/GeFIN stand-in).
+
+Modules:
+
+* :mod:`~repro.uarch.config` — the four core presets (Table II).
+* :mod:`~repro.uarch.pipeline` — out-of-order engine with bit-accurate
+  fault targets (RF, LSQ, L1I, L1D, L2) and HVF instrumentation.
+* :mod:`~repro.uarch.functional` — timing-free engines for golden
+  runs, PVF (simulated kernel) and SVF (host-emulated kernel).
+* :mod:`~repro.uarch.cache`, :mod:`~repro.uarch.regfile`,
+  :mod:`~repro.uarch.lsq`, :mod:`~repro.uarch.branch`,
+  :mod:`~repro.uarch.memory` — the individual hardware structures.
+"""
+
+from .config import (
+    ALL_CONFIGS,
+    CORTEX_A9,
+    CORTEX_A15,
+    CORTEX_A57,
+    CORTEX_A72,
+    STRUCTURES,
+    CacheConfig,
+    MicroarchConfig,
+    config_by_name,
+)
+from .exceptions import DetectTrap, FaultKind, SimException
+from .functional import (
+    FaultAction,
+    FuncResult,
+    FunctionalEngine,
+    RunStatus,
+    run_functional,
+)
+from .pipeline import PipelineEngine, PipelineResult, run_pipeline
+
+__all__ = [
+    "ALL_CONFIGS",
+    "CORTEX_A15",
+    "CORTEX_A57",
+    "CORTEX_A72",
+    "CORTEX_A9",
+    "CacheConfig",
+    "DetectTrap",
+    "FaultAction",
+    "FaultKind",
+    "FuncResult",
+    "FunctionalEngine",
+    "MicroarchConfig",
+    "PipelineEngine",
+    "PipelineResult",
+    "RunStatus",
+    "STRUCTURES",
+    "SimException",
+    "config_by_name",
+    "run_functional",
+    "run_pipeline",
+]

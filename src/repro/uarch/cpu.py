@@ -1,0 +1,288 @@
+"""Architectural execution semantics of mRISC.
+
+One implementation of the instruction semantics is shared by every
+engine in the package — the functional simulators behind the PVF/SVF
+injectors and the out-of-order pipeline behind the AVF/HVF injector —
+so a fault can never be an artefact of semantic divergence between
+layers (the paper runs all gem5-based estimations on one
+infrastructure for the same reason).
+
+The semantics functions talk to the engine through a tiny adapter
+interface (:class:`CoreAccess`): register reads/writes and memory
+loads/stores.  The adapter is where engines differ — the functional
+engine backs it with an array and flat memory, the pipeline with a
+renamed physical register file and the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import layout
+from ..isa.encoding import Decoded
+from .exceptions import DetectTrap, FaultKind, SimException
+
+USER_MODE = 0
+KERNEL_MODE = 1
+
+
+@dataclass
+class MachineState:
+    """Architectural control state shared by all engines."""
+
+    xlen: int
+    pc: int = 0
+    mode: int = USER_MODE
+    kepc: int = 0
+    halted: bool = False
+    exit_code: int = 0
+    mask: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.mask = (1 << self.xlen) - 1
+
+    @property
+    def in_kernel(self) -> bool:
+        return self.mode == KERNEL_MODE
+
+
+class CoreAccess:
+    """Adapter interface the semantics functions call into.
+
+    Engines subclass (or duck-type) this.  ``load``/``store`` may raise
+    :class:`SimException` for bad addresses; privilege checks live in
+    the engines because they know the current mode.
+    """
+
+    def read_reg(self, index: int) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def write_reg(self, index: int, value: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def load(self, addr: int, nbytes: int, signed: bool) -> int:
+        raise NotImplementedError  # pragma: no cover
+
+    def store(self, addr: int, nbytes: int, value: int) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+def to_signed(value: int, xlen: int) -> int:
+    """Reinterpret an unsigned *xlen*-bit value as signed."""
+    if value & (1 << (xlen - 1)):
+        return value - (1 << xlen)
+    return value
+
+
+def sext32(value: int, xlen: int) -> int:
+    """Sign-extend a 32-bit value to *xlen* bits (W-op results, LUI)."""
+    value &= 0xFFFF_FFFF
+    if xlen == 32:
+        return value
+    if value & 0x8000_0000:
+        return (value | 0xFFFF_FFFF_0000_0000)
+    return value
+
+
+def _sdiv(a: int, b: int) -> int:
+    """Signed division truncating toward zero (C semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _srem(a: int, b: int) -> int:
+    """Signed remainder with the sign of the dividend (C semantics)."""
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+def execute(instr: Decoded, ms: MachineState, core: CoreAccess) -> int:
+    """Execute one instruction; returns the next PC.
+
+    Raises :class:`SimException` on architectural faults and
+    :class:`DetectTrap` when a hardened binary signals detection.
+    """
+    op = instr.op
+    pc = ms.pc
+    mask = ms.mask
+    xlen = ms.xlen
+    read = core.read_reg
+
+    # ------------------------------------------------------------------
+    # ALU register-register
+    # ------------------------------------------------------------------
+    if op == "add":
+        core.write_reg(instr.rd, (read(instr.rs1) + read(instr.rs2)) & mask)
+    elif op == "sub":
+        core.write_reg(instr.rd, (read(instr.rs1) - read(instr.rs2)) & mask)
+    elif op == "mul":
+        core.write_reg(instr.rd, (read(instr.rs1) * read(instr.rs2)) & mask)
+    elif op == "div":
+        b = read(instr.rs2)
+        if b == 0:
+            raise SimException(FaultKind.DIVISION_BY_ZERO, pc,
+                               in_kernel=ms.in_kernel)
+        a = to_signed(read(instr.rs1), xlen)
+        core.write_reg(instr.rd, _sdiv(a, to_signed(b, xlen)) & mask)
+    elif op == "rem":
+        b = read(instr.rs2)
+        if b == 0:
+            raise SimException(FaultKind.DIVISION_BY_ZERO, pc,
+                               in_kernel=ms.in_kernel)
+        a = to_signed(read(instr.rs1), xlen)
+        core.write_reg(instr.rd, _srem(a, to_signed(b, xlen)) & mask)
+    elif op == "and":
+        core.write_reg(instr.rd, read(instr.rs1) & read(instr.rs2))
+    elif op == "or":
+        core.write_reg(instr.rd, read(instr.rs1) | read(instr.rs2))
+    elif op == "xor":
+        core.write_reg(instr.rd, read(instr.rs1) ^ read(instr.rs2))
+    elif op == "sll":
+        core.write_reg(instr.rd,
+                       (read(instr.rs1) << (read(instr.rs2) & (xlen - 1)))
+                       & mask)
+    elif op == "srl":
+        core.write_reg(instr.rd,
+                       read(instr.rs1) >> (read(instr.rs2) & (xlen - 1)))
+    elif op == "sra":
+        shift = read(instr.rs2) & (xlen - 1)
+        core.write_reg(instr.rd,
+                       (to_signed(read(instr.rs1), xlen) >> shift) & mask)
+    elif op == "slt":
+        core.write_reg(instr.rd,
+                       int(to_signed(read(instr.rs1), xlen)
+                           < to_signed(read(instr.rs2), xlen)))
+    elif op == "sltu":
+        core.write_reg(instr.rd, int(read(instr.rs1) < read(instr.rs2)))
+
+    # ------------------------------------------------------------------
+    # 32-bit W-variants (mRISC-64)
+    # ------------------------------------------------------------------
+    elif op == "addw":
+        core.write_reg(instr.rd,
+                       sext32(read(instr.rs1) + read(instr.rs2), xlen))
+    elif op == "subw":
+        core.write_reg(instr.rd,
+                       sext32(read(instr.rs1) - read(instr.rs2), xlen))
+    elif op == "mulw":
+        core.write_reg(instr.rd,
+                       sext32(read(instr.rs1) * read(instr.rs2), xlen))
+    elif op == "sllw":
+        core.write_reg(instr.rd,
+                       sext32(read(instr.rs1) << (read(instr.rs2) & 31),
+                              xlen))
+    elif op == "srlw":
+        core.write_reg(instr.rd,
+                       sext32((read(instr.rs1) & 0xFFFF_FFFF)
+                              >> (read(instr.rs2) & 31), xlen))
+    elif op == "sraw":
+        value = to_signed(read(instr.rs1) & 0xFFFF_FFFF, 32)
+        core.write_reg(instr.rd,
+                       sext32(value >> (read(instr.rs2) & 31), xlen))
+
+    # ------------------------------------------------------------------
+    # ALU immediates
+    # ------------------------------------------------------------------
+    elif op == "addi":
+        core.write_reg(instr.rd, (read(instr.rs1) + instr.imm) & mask)
+    elif op == "addiw":
+        core.write_reg(instr.rd,
+                       sext32(read(instr.rs1) + instr.imm, xlen))
+    elif op == "andi":
+        core.write_reg(instr.rd, read(instr.rs1) & (instr.imm & 0xFFFF))
+    elif op == "ori":
+        core.write_reg(instr.rd, read(instr.rs1) | (instr.imm & 0xFFFF))
+    elif op == "xori":
+        # xori with imm -1 is canonical NOT: sign-extend the immediate.
+        core.write_reg(instr.rd, (read(instr.rs1) ^ (instr.imm & mask))
+                       & mask)
+    elif op == "slli":
+        core.write_reg(instr.rd,
+                       (read(instr.rs1) << (instr.imm & (xlen - 1))) & mask)
+    elif op == "srli":
+        core.write_reg(instr.rd,
+                       read(instr.rs1) >> (instr.imm & (xlen - 1)))
+    elif op == "srai":
+        core.write_reg(instr.rd,
+                       (to_signed(read(instr.rs1), xlen)
+                        >> (instr.imm & (xlen - 1))) & mask)
+    elif op == "slti":
+        core.write_reg(instr.rd,
+                       int(to_signed(read(instr.rs1), xlen) < instr.imm))
+    elif op == "lui":
+        core.write_reg(instr.rd, sext32((instr.imm & 0xFFFF) << 16, xlen))
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    elif instr.d.mem_bytes and instr.d.cls == "load":
+        addr = (read(instr.rs1) + instr.imm) & mask
+        value = core.load(addr & 0xFFFF_FFFF, instr.d.mem_bytes,
+                          instr.d.mem_signed)
+        core.write_reg(instr.rd, value & mask)
+    elif instr.d.mem_bytes and instr.d.cls == "store":
+        addr = (read(instr.rs1) + instr.imm) & mask
+        core.store(addr & 0xFFFF_FFFF, instr.d.mem_bytes,
+                   read(instr.rs2))
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        a, b = read(instr.rs1), read(instr.rs2)
+        if op in ("blt", "bge"):
+            a, b = to_signed(a, xlen), to_signed(b, xlen)
+        taken = ((op == "beq" and a == b)
+                 or (op == "bne" and a != b)
+                 or (op in ("blt", "bltu") and a < b)
+                 or (op in ("bge", "bgeu") and a >= b))
+        return (pc + 4 + instr.imm) if taken else pc + 4
+    elif op == "j":
+        return pc + 4 + instr.imm
+    elif op == "jal":
+        core.write_reg(_link_reg(xlen), (pc + 4) & mask)
+        return pc + 4 + instr.imm
+    elif op == "jr":
+        return read(instr.rs1) & mask
+    elif op == "jalr":
+        target = read(instr.rs1) & mask
+        core.write_reg(instr.rd, (pc + 4) & mask)
+        return target
+
+    # ------------------------------------------------------------------
+    # system
+    # ------------------------------------------------------------------
+    elif op == "syscall":
+        ms.kepc = pc + 4
+        ms.mode = KERNEL_MODE
+        return layout.KERNEL_CODE_BASE
+    elif op == "eret":
+        if not ms.in_kernel:
+            raise SimException(FaultKind.ILLEGAL_INSTRUCTION, pc,
+                               detail="eret in user mode", in_kernel=False)
+        ms.mode = USER_MODE
+        return ms.kepc
+    elif op == "halt":
+        if not ms.in_kernel:
+            raise SimException(FaultKind.ILLEGAL_INSTRUCTION, pc,
+                               detail="halt in user mode", in_kernel=False)
+        ms.halted = True
+        return pc + 4
+    elif op == "detect":
+        raise DetectTrap
+    else:  # pragma: no cover - table and semantics must stay in sync
+        raise SimException(FaultKind.ILLEGAL_INSTRUCTION, pc,
+                           detail=f"no semantics for {op}",
+                           in_kernel=ms.in_kernel)
+
+    return pc + 4
+
+
+def _link_reg(xlen: int) -> int:
+    return 14 if xlen == 32 else 30
+
+
+def branch_outcome(instr: Decoded, next_pc: int, pc: int) -> tuple[bool, int]:
+    """(taken?, target) for a control-flow instruction, given its result."""
+    fallthrough = pc + 4
+    return next_pc != fallthrough, next_pc

@@ -1,0 +1,60 @@
+"""Simulated-machine exceptions.
+
+These are *architectural events of the simulated CPU*, not Python
+errors: the simulator catches them and maps them onto the paper's
+fault-effect taxonomy (a fault raised in user mode is a process crash;
+one raised in kernel mode is a kernel panic — see
+:mod:`repro.faults.outcomes`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class FaultKind(str, Enum):
+    """Architectural exception causes."""
+
+    ILLEGAL_INSTRUCTION = "illegal-instruction"
+    ACCESS_FAULT = "access-fault"          # unmapped / out-of-range address
+    PRIVILEGE_FAULT = "privilege-fault"    # user touched kernel space
+    MISALIGNED = "misaligned-access"
+    DIVISION_BY_ZERO = "division-by-zero"
+    FETCH_FAULT = "fetch-fault"            # PC escaped the code image
+
+
+class SimException(Exception):
+    """An architectural exception raised during simulated execution.
+
+    Attributes
+    ----------
+    kind:
+        The architectural cause.
+    addr:
+        Faulting address (memory faults) or PC (others), if known.
+    in_kernel:
+        Whether the machine was in kernel mode when the exception was
+        raised.  Filled in by the execution engine at catch time when
+        the raise site does not know.
+    """
+
+    def __init__(self, kind: FaultKind, addr: int | None = None,
+                 detail: str = "", in_kernel: bool = False) -> None:
+        where = f" @ {addr:#x}" if addr is not None else ""
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"{kind.value}{where}{extra}")
+        self.kind = kind
+        self.addr = addr
+        self.detail = detail
+        self.in_kernel = in_kernel
+
+
+class DetectTrap(Exception):
+    """Raised when a hardened program executes the ``detect`` trap.
+
+    The software-based fault-tolerance transform inserts consistency
+    checks that execute ``detect`` on mismatch; the outcome of such a
+    run is *Detected* (the paper excludes detected faults from the
+    vulnerability of the hardened binary, because a detected fault is
+    recoverable by re-execution).
+    """

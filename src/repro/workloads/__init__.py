@@ -1,0 +1,16 @@
+"""The MiBench-like workload suite (see DESIGN.md for substitutions)."""
+
+from .common import WorkloadSpec
+from .suite import WORKLOAD_NAMES, all_specs, load_workload, workload_spec
+
+#: Backwards-friendly alias used by the top-level package.
+WORKLOADS = WORKLOAD_NAMES
+
+__all__ = [
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "all_specs",
+    "load_workload",
+    "workload_spec",
+]

@@ -1,0 +1,225 @@
+"""cjpeg — JPEG-style encoder core (DCT, quantise, zigzag RLE).
+
+MiBench's consumer/cjpeg analogue reduced to the computational
+pipeline: level shift, separable integer DCT (Q13 cosine table),
+quantisation (signed division by the luminance table), zigzag scan and
+run-length entropy coding.  Output: the RLE byte stream of both
+blocks.
+"""
+
+from __future__ import annotations
+
+from .common import WorkloadSpec, data_bytes, data_words, emit_exit
+from .jpeg_common import (
+    COS_SHIFT,
+    N_BLOCKS,
+    QUANT,
+    ZIGZAG,
+    cos_table,
+    forward_dct,
+    image_blocks,
+    quantise,
+    rle_encode,
+)
+
+
+def reference() -> bytes:
+    out = bytearray()
+    for block in image_blocks():
+        out += rle_encode(quantise(forward_dct(block)))
+    return bytes(out)
+
+
+def _flat_image() -> bytes:
+    flat = bytearray()
+    for block in image_blocks():
+        flat.extend(block)
+    return bytes(flat)
+
+
+def _source() -> str:
+    return f"""
+# cjpeg: integer DCT + quantisation + zigzag RLE over {N_BLOCKS} 8x8 blocks
+.text
+_start:
+    li   r12, 0                # r12 = output byte cursor
+    li   r11, 0                # r11 = block index
+blk_loop:
+    # ---- level shift: work[i] = image[64*blk + i] - 128 ----------------
+    la   r1, image
+    slli r2, r11, 6
+    add  r1, r1, r2
+    la   r2, work
+    li   r3, 64
+shift_loop:
+    lbu  r4, 0(r1)
+    addi r4, r4, -128
+    sw   r4, 0(r2)
+    addi r1, r1, 1
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bnez r3, shift_loop
+    # ---- row pass: tmp[8y+u] = (sum_x work[8y+x] * C[8u+x]) >> {COS_SHIFT}
+    li   r4, 0                 # y
+dct_row_y:
+    li   r5, 0                 # u
+dct_row_u:
+    li   r7, 0                 # acc
+    li   r6, 0                 # x
+dct_row_x:
+    slli r1, r4, 3
+    add  r1, r1, r6
+    slli r1, r1, 2
+    la   r2, work
+    add  r1, r2, r1
+    lw   r8, 0(r1)             # work[8y+x]
+    slli r1, r5, 3
+    add  r1, r1, r6
+    slli r1, r1, 2
+    la   r2, ctab
+    add  r1, r2, r1
+    lw   r9, 0(r1)             # C[8u+x]
+    mul  r8, r8, r9
+    add  r7, r7, r8
+    addi r6, r6, 1
+    slti r1, r6, 8
+    bnez r1, dct_row_x
+    srai r7, r7, {COS_SHIFT}
+    slli r1, r4, 3
+    add  r1, r1, r5
+    slli r1, r1, 2
+    la   r2, tmpbuf
+    add  r1, r2, r1
+    sw   r7, 0(r1)
+    addi r5, r5, 1
+    slti r1, r5, 8
+    bnez r1, dct_row_u
+    addi r4, r4, 1
+    slti r1, r4, 8
+    bnez r1, dct_row_y
+    # ---- column pass: out[8u+x] = (sum_y tmp[8y+x] * C[8u+y]) >> {COS_SHIFT}
+    li   r4, 0                 # x
+dct_col_x:
+    li   r5, 0                 # u
+dct_col_u:
+    li   r7, 0                 # acc
+    li   r6, 0                 # y
+dct_col_y:
+    slli r1, r6, 3
+    add  r1, r1, r4
+    slli r1, r1, 2
+    la   r2, tmpbuf
+    add  r1, r2, r1
+    lw   r8, 0(r1)             # tmp[8y+x]
+    slli r1, r5, 3
+    add  r1, r1, r6
+    slli r1, r1, 2
+    la   r2, ctab
+    add  r1, r2, r1
+    lw   r9, 0(r1)             # C[8u+y]
+    mul  r8, r8, r9
+    add  r7, r7, r8
+    addi r6, r6, 1
+    slti r1, r6, 8
+    bnez r1, dct_col_y
+    srai r7, r7, {COS_SHIFT}
+    slli r1, r5, 3
+    add  r1, r1, r4
+    slli r1, r1, 2
+    la   r2, coefs
+    add  r1, r2, r1
+    sw   r7, 0(r1)
+    addi r5, r5, 1
+    slti r1, r5, 8
+    bnez r1, dct_col_u
+    addi r4, r4, 1
+    slti r1, r4, 8
+    bnez r1, dct_col_x
+    # ---- quantise: coefs[i] /= qtab[i] ---------------------------------
+    la   r1, coefs
+    la   r2, qtab
+    li   r3, 64
+quant_loop:
+    lw   r4, 0(r1)
+    lw   r5, 0(r2)
+    div  r4, r4, r5
+    sw   r4, 0(r1)
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bnez r3, quant_loop
+    # ---- zigzag + RLE ----------------------------------------------------
+    li   r4, 0                 # k
+    li   r5, 0                 # run
+rle_loop:
+    la   r1, zigzag
+    add  r1, r1, r4
+    lbu  r2, 0(r1)             # zigzag[k]
+    slli r2, r2, 2
+    la   r1, coefs
+    add  r1, r1, r2
+    lw   r6, 0(r1)             # value
+    bnez r6, rle_emit
+    addi r5, r5, 1
+    b    rle_next
+rle_emit:
+    # clamp value to [-128, 127]
+    li   r1, -128
+    bge  r6, r1, clamp_lo_ok
+    li   r6, -128
+clamp_lo_ok:
+    li   r1, 127
+    ble  r6, r1, clamp_hi_ok
+    li   r6, 127
+clamp_hi_ok:
+    la   r1, outbuf
+    add  r1, r1, r12
+    sb   r5, 0(r1)
+    sb   r6, 1(r1)
+    addi r12, r12, 2
+    li   r5, 0
+rle_next:
+    addi r4, r4, 1
+    slti r1, r4, 64
+    bnez r1, rle_loop
+    # ---- end of block marker ---------------------------------------------
+    la   r1, outbuf
+    add  r1, r1, r12
+    sb   r0, 0(r1)
+    sb   r0, 1(r1)
+    addi r12, r12, 2
+    addi r11, r11, 1
+    slti r1, r11, {N_BLOCKS}
+    bnez r1, blk_loop
+    # ---- write the RLE stream ---------------------------------------------
+    la   r2, outbuf
+    mv   r3, r12
+    li   r1, 1
+    syscall
+{emit_exit(0)}
+
+.data
+{data_bytes('image', _flat_image())}
+{data_words('ctab', cos_table())}
+{data_words('qtab', QUANT)}
+{data_bytes('zigzag', bytes(ZIGZAG))}
+work:
+    .space 256
+tmpbuf:
+    .space 256
+coefs:
+    .space 256
+outbuf:
+    .space 512
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="cjpeg",
+        description="JPEG-style encode: DCT, quantise, zigzag RLE",
+        source=_source(),
+        reference=reference,
+        approx_instructions=16000,
+        tags=("consumer", "mul-heavy", "div"),
+    )

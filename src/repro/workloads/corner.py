@@ -1,0 +1,162 @@
+"""corner — SUSAN-style corner detection on a 12x12 image.
+
+MiBench's automotive/susan (corners) analogue, reduced to its
+computational core: for every interior pixel, the USAN area (number of
+neighbours within a brightness threshold of the nucleus) is computed
+over a 5x5 window; pixels whose area falls below the geometric
+threshold are corners.  Output: the corner-response map (one byte per
+interior pixel: the USAN area if it is a corner, 0 otherwise) followed
+by the corner count.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    WorkloadSpec,
+    data_bytes,
+    emit_exit,
+    emit_write,
+    le32,
+    random_bytes,
+)
+
+_W = 12
+_H = 12
+_BORDER = 2          # 5x5 window
+_BRIGHT_T = 24       # brightness threshold
+_GEOM_T = 12         # geometric threshold (max USAN area of a corner)
+_SEED = 0xC04E4
+
+
+def _image() -> bytes:
+    """A blocky pseudo-random image (structured enough to have corners)."""
+    noise = random_bytes(_SEED, _W * _H)
+    img = bytearray(_W * _H)
+    for y in range(_H):
+        for x in range(_W):
+            block = 170 if (x // 5 + y // 5) % 2 else 60
+            img[y * _W + x] = (block + (noise[y * _W + x] & 31)) & 0xFF
+    return bytes(img)
+
+
+def reference() -> bytes:
+    img = _image()
+    out = bytearray()
+    corners = 0
+    for y in range(_BORDER, _H - _BORDER):
+        for x in range(_BORDER, _W - _BORDER):
+            nucleus = img[y * _W + x]
+            area = 0
+            for dy in range(-_BORDER, _BORDER + 1):
+                for dx in range(-_BORDER, _BORDER + 1):
+                    value = img[(y + dy) * _W + (x + dx)]
+                    diff = value - nucleus
+                    if diff < 0:
+                        diff = -diff
+                    if diff <= _BRIGHT_T:
+                        area += 1
+            if area <= _GEOM_T:
+                out.append(area)
+                corners += 1
+            else:
+                out.append(0)
+    return bytes(out) + le32(corners)
+
+
+def _source() -> str:
+    inner = _W - 2 * _BORDER
+    return f"""
+# corner: SUSAN-style corner detection ({_W}x{_H}, 5x5 USAN window)
+.text
+_start:
+    li   r11, 0                # corner count
+    li   r4, {_BORDER}         # y
+y_loop:
+    li   r5, {_BORDER}         # x
+x_loop:
+    # ---- nucleus brightness -------------------------------------------
+    li   r1, {_W}
+    mul  r1, r4, r1            # y * W
+    add  r1, r1, r5
+    la   r2, image
+    add  r1, r2, r1
+    lbu  r6, 0(r1)             # nucleus
+    li   r7, 0                 # area
+    li   r8, -{_BORDER}        # dy
+usan_y:
+    li   r9, -{_BORDER}        # dx
+usan_x:
+    add  r1, r4, r8
+    li   r2, {_W}
+    mul  r1, r1, r2
+    add  r1, r1, r5
+    add  r1, r1, r9
+    la   r2, image
+    add  r1, r2, r1
+    lbu  r10, 0(r1)
+    sub  r10, r10, r6          # diff
+    bge  r10, r0, diff_pos
+    neg  r10, r10
+diff_pos:
+    li   r1, {_BRIGHT_T}
+    bgt  r10, r1, usan_next
+    addi r7, r7, 1
+usan_next:
+    addi r9, r9, 1
+    li   r1, {_BORDER}
+    ble  r9, r1, usan_x
+    addi r8, r8, 1
+    ble  r8, r1, usan_y
+    # ---- geometric threshold -------------------------------------------
+    # out[(y-B)*inner + (x-B)] = area if area <= GEOM_T else 0
+    addi r1, r4, -{_BORDER}
+    li   r2, {inner}
+    mul  r1, r1, r2
+    addi r2, r5, -{_BORDER}
+    add  r1, r1, r2
+    la   r2, outbuf
+    add  r2, r2, r1
+    li   r1, {_GEOM_T}
+    bgt  r7, r1, not_corner
+    sb   r7, 0(r2)
+    addi r11, r11, 1
+    b    pixel_next
+not_corner:
+    sb   r0, 0(r2)
+pixel_next:
+    addi r5, r5, 1
+    li   r1, {_W - _BORDER}
+    blt  r5, r1, x_loop
+    # ---- stream the completed response row out -----------------------
+    la   r2, outbuf
+    addi r1, r4, -{_BORDER}
+    li   r3, {inner}
+    mul  r1, r1, r3
+    add  r2, r2, r1
+    li   r1, 1
+    syscall
+    addi r4, r4, 1
+    li   r1, {_H - _BORDER}
+    blt  r4, r1, y_loop
+    # ---- append the corner count ----------------------------------------
+    la   r1, outbuf
+    sw   r11, {inner * inner}(r1)
+{emit_write('outbuf', 4, offset=inner * inner)}
+{emit_exit(0)}
+
+.data
+{data_bytes('image', _image())}
+outbuf:
+    .space {inner * inner + 4}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="corner",
+        description="SUSAN-style corner detection (5x5 USAN window)",
+        source=_source(),
+        reference=reference,
+        approx_instructions=10000,
+        tags=("automotive", "image", "branch-heavy"),
+    )

@@ -1,0 +1,179 @@
+"""djpeg — JPEG-style decoder core (dequantise, IDCT, clamp).
+
+MiBench's consumer/djpeg analogue: the input is the quantised
+coefficient stream produced by cjpeg's forward path (computed at
+build time), and the kernel dequantises, runs the integer inverse
+DCT and reconstructs clamped 8-bit pixels.  Output: the pixel bytes
+of both blocks.
+"""
+
+from __future__ import annotations
+
+from .common import WorkloadSpec, data_bytes, data_words, emit_exit, emit_write
+from .jpeg_common import (
+    COS_SHIFT,
+    N_BLOCKS,
+    QUANT,
+    cjpeg_quantised_blocks,
+    cos_table,
+    inverse_dct,
+)
+
+
+def reference() -> bytes:
+    out = bytearray()
+    for quantised in cjpeg_quantised_blocks():
+        coeffs = [c * q for c, q in zip(quantised, QUANT)]
+        pixels = inverse_dct(coeffs)
+        for p in pixels:
+            out.append(max(0, min(255, p + 128)))
+    return bytes(out)
+
+
+def _flat_coeffs() -> list[int]:
+    flat = []
+    for block in cjpeg_quantised_blocks():
+        flat.extend(block)
+    return flat
+
+
+def _source() -> str:
+    shift = COS_SHIFT
+    return f"""
+# djpeg: dequantise + integer IDCT + clamp over {N_BLOCKS} 8x8 blocks
+.text
+_start:
+    li   r11, 0                # r11 = block index
+blk_loop:
+    # ---- dequantise: work[i] = qcoef[64*blk + i] * qtab[i] -------------
+    la   r1, qcoef
+    slli r2, r11, 8            # 64 words * 4 bytes
+    add  r1, r1, r2
+    la   r2, qtab
+    la   r3, work
+    li   r4, 64
+deq_loop:
+    lw   r5, 0(r1)
+    lw   r6, 0(r2)
+    mul  r5, r5, r6
+    sw   r5, 0(r3)
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, 4
+    addi r4, r4, -1
+    bnez r4, deq_loop
+    # ---- row pass: tmp[8y+x] = (sum_u work[8y+u] * C[8u+x]) >> {shift}
+    li   r4, 0                 # y
+idct_row_y:
+    li   r5, 0                 # x
+idct_row_x:
+    li   r7, 0                 # acc
+    li   r6, 0                 # u
+idct_row_u:
+    slli r1, r4, 3
+    add  r1, r1, r6
+    slli r1, r1, 2
+    la   r2, work
+    add  r1, r2, r1
+    lw   r8, 0(r1)             # work[8y+u]
+    slli r1, r6, 3
+    add  r1, r1, r5
+    slli r1, r1, 2
+    la   r2, ctab
+    add  r1, r2, r1
+    lw   r9, 0(r1)             # C[8u+x]
+    mul  r8, r8, r9
+    add  r7, r7, r8
+    addi r6, r6, 1
+    slti r1, r6, 8
+    bnez r1, idct_row_u
+    srai r7, r7, {shift}
+    slli r1, r4, 3
+    add  r1, r1, r5
+    slli r1, r1, 2
+    la   r2, tmpbuf
+    add  r1, r2, r1
+    sw   r7, 0(r1)
+    addi r5, r5, 1
+    slti r1, r5, 8
+    bnez r1, idct_row_x
+    addi r4, r4, 1
+    slti r1, r4, 8
+    bnez r1, idct_row_y
+    # ---- column pass: pix[8y+x] = (sum_u tmp[8u+x] * C[8u+y]) >> {shift}
+    li   r4, 0                 # x
+idct_col_x:
+    li   r5, 0                 # y
+idct_col_y:
+    li   r7, 0                 # acc
+    li   r6, 0                 # u
+idct_col_u:
+    slli r1, r6, 3
+    add  r1, r1, r4
+    slli r1, r1, 2
+    la   r2, tmpbuf
+    add  r1, r2, r1
+    lw   r8, 0(r1)             # tmp[8u+x]
+    slli r1, r6, 3
+    add  r1, r1, r5
+    slli r1, r1, 2
+    la   r2, ctab
+    add  r1, r2, r1
+    lw   r9, 0(r1)             # C[8u+y]
+    mul  r8, r8, r9
+    add  r7, r7, r8
+    addi r6, r6, 1
+    slti r1, r6, 8
+    bnez r1, idct_col_u
+    srai r7, r7, {shift}
+    # ---- level shift + clamp to [0, 255] --------------------------------
+    addi r7, r7, 128
+    bge  r7, r0, clamp_lo_ok
+    li   r7, 0
+clamp_lo_ok:
+    li   r1, 255
+    ble  r7, r1, clamp_hi_ok
+    li   r7, 255
+clamp_hi_ok:
+    # out[64*blk + 8y+x]
+    slli r1, r5, 3
+    add  r1, r1, r4
+    slli r2, r11, 6
+    add  r1, r1, r2
+    la   r2, outbuf
+    add  r1, r2, r1
+    sb   r7, 0(r1)
+    addi r5, r5, 1
+    slti r1, r5, 8
+    bnez r1, idct_col_y
+    addi r4, r4, 1
+    slti r1, r4, 8
+    bnez r1, idct_col_x
+    addi r11, r11, 1
+    slti r1, r11, {N_BLOCKS}
+    bnez r1, blk_loop
+{emit_write('outbuf', 64 * N_BLOCKS)}
+{emit_exit(0)}
+
+.data
+{data_words('qcoef', _flat_coeffs())}
+{data_words('qtab', QUANT)}
+{data_words('ctab', cos_table())}
+work:
+    .space 256
+tmpbuf:
+    .space 256
+outbuf:
+    .space {64 * N_BLOCKS}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="djpeg",
+        description="JPEG-style decode: dequantise, IDCT, clamp",
+        source=_source(),
+        reference=reference,
+        approx_instructions=15000,
+        tags=("consumer", "mul-heavy", "image"),
+    )

@@ -1,0 +1,227 @@
+"""fft — 64-point radix-2 fixed-point FFT (Q15 twiddles).
+
+MiBench's telecomm/FFT analogue.  Decimation-in-time with bit-reversal
+reordering and per-stage >>1 scaling (the classic fixed-point guard
+against overflow).  All intermediate values fit in signed 32 bits, so
+the arithmetic is identical on both ISAs (mRISC-64 keeps values in
+sign-extended canonical form automatically).
+
+Output: the 64 complex bins as interleaved little-endian 32-bit words.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .common import (
+    WorkloadSpec,
+    data_words,
+    emit_exit,
+    emit_write,
+    le32,
+    xorshift32_stream,
+)
+
+_N = 64
+_LOG2N = 6
+_SEED = 0xF0F7
+
+
+def _twiddles() -> tuple[list[int], list[int]]:
+    """Q15 cos/sin tables for k = 0 .. N/2-1."""
+    cos_tab, sin_tab = [], []
+    for k in range(_N // 2):
+        angle = 2.0 * math.pi * k / _N
+        cos_tab.append(int(round(math.cos(angle) * 32767)))
+        sin_tab.append(int(round(math.sin(angle) * 32767)))
+    return cos_tab, sin_tab
+
+
+def _input_signal() -> list[int]:
+    """Signed 12-bit pseudo-random samples."""
+    return [(v & 0xFFF) - 2048 for v in xorshift32_stream(_SEED, _N)]
+
+
+def _bit_reverse(index: int) -> int:
+    out = 0
+    for _ in range(_LOG2N):
+        out = (out << 1) | (index & 1)
+        index >>= 1
+    return out
+
+
+def reference() -> bytes:
+    """Verbose-mode FFT: the full complex state is dumped after every
+    butterfly stage (6 x 512 B), then the final interleaved spectrum —
+    mirroring MiBench FFT's printed per-stage diagnostics and giving
+    the workload a realistic streamed-output profile."""
+    cos_tab, sin_tab = _twiddles()
+    signal = _input_signal()
+    re = [signal[_bit_reverse(i)] for i in range(_N)]
+    im = [0] * _N
+    out = bytearray()
+    length = 2
+    while length <= _N:
+        half = length // 2
+        step = _N // length
+        for base in range(0, _N, length):
+            for j in range(half):
+                w_re = cos_tab[j * step]
+                w_im = -sin_tab[j * step]
+                bi = base + j + half
+                ai = base + j
+                t_re = (w_re * re[bi] - w_im * im[bi]) >> 15
+                t_im = (w_re * im[bi] + w_im * re[bi]) >> 15
+                re[bi] = (re[ai] - t_re) >> 1
+                im[bi] = (im[ai] - t_im) >> 1
+                re[ai] = (re[ai] + t_re) >> 1
+                im[ai] = (im[ai] + t_im) >> 1
+        for value in re:
+            out += le32(value)
+        for value in im:
+            out += le32(value)
+        length *= 2
+    for i in range(_N):
+        out += le32(re[i]) + le32(im[i])
+    return bytes(out)
+
+
+def _source() -> str:
+    reordered = [_input_signal()[_bit_reverse(i)] for i in range(_N)]
+    cos_tab, sin_tab = _twiddles()
+    return f"""
+# fft: {_N}-point radix-2 DIT fixed-point FFT
+# The bit-reversal permutation of the *constant* input is precomputed
+# at build time (MiBench reads its input from a file; the permutation
+# of a known input is input preparation, not kernel work).
+.text
+_start:
+    # ---- stage loop: length = 2, 4, ..., N ---------------------------
+    li   r4, 2                 # r4 = length
+stage_loop:
+    li   r1, {_N}
+    bgt  r4, r1, stages_done
+    srli r5, r4, 1             # r5 = half
+    li   r6, {_N}
+    div  r6, r6, r4            # r6 = step
+    li   r7, 0                 # r7 = base
+group_loop:
+    li   r8, 0                 # r8 = j
+bfly_loop:
+    # ---- load twiddle: w_re = cos[j*step], w_im = -sin[j*step] --------
+    mul  r9, r8, r6
+    slli r9, r9, 2
+    la   r1, costab
+    add  r1, r1, r9
+    lw   r10, 0(r1)            # w_re
+    la   r1, sintab
+    add  r1, r1, r9
+    lw   r11, 0(r1)
+    neg  r11, r11              # w_im = -sin
+    # ---- indices: ai = base + j ; bi = ai + half ----------------------
+    add  r9, r7, r8
+    slli r9, r9, 2             # ai * 4
+    slli r12, r5, 2
+    add  r12, r9, r12          # bi * 4
+    # ---- t = w * x[bi]  (complex, Q15) --------------------------------
+    la   r1, rebuf
+    add  r2, r1, r12
+    lw   r2, 0(r2)             # re[bi]
+    la   r1, imbuf
+    add  r3, r1, r12
+    lw   r3, 0(r3)             # im[bi]
+    mul  r1, r10, r2           # w_re * re[bi]
+    # t_re = (w_re*re - w_im*im) >> 15  (keep partial in r1)
+    mul  r2, r11, r3           # w_im * im[bi]   (re[bi] dead in r2)
+    sub  r1, r1, r2
+    srai r1, r1, 15            # r1 = t_re
+    # recompute loads for t_im (registers are scarce)
+    la   r2, rebuf
+    add  r2, r2, r12
+    lw   r2, 0(r2)             # re[bi] again
+    mul  r2, r11, r2           # w_im * re[bi]
+    la   r3, imbuf
+    add  r3, r3, r12
+    lw   r3, 0(r3)             # im[bi]
+    mul  r3, r10, r3           # w_re * im[bi]
+    add  r2, r3, r2
+    srai r2, r2, 15            # r2 = t_im
+    # ---- butterfly with >>1 scaling -----------------------------------
+    la   r3, rebuf
+    add  r3, r3, r9
+    lw   r10, 0(r3)            # re[ai]   (w_re dead)
+    sub  r11, r10, r1
+    srai r11, r11, 1
+    add  r10, r10, r1
+    srai r10, r10, 1
+    sw   r10, 0(r3)            # re[ai]'
+    la   r3, rebuf
+    add  r3, r3, r12
+    sw   r11, 0(r3)            # re[bi]'
+    la   r3, imbuf
+    add  r3, r3, r9
+    lw   r10, 0(r3)            # im[ai]
+    sub  r11, r10, r2
+    srai r11, r11, 1
+    add  r10, r10, r2
+    srai r10, r10, 1
+    sw   r10, 0(r3)            # im[ai]'
+    la   r3, imbuf
+    add  r3, r3, r12
+    sw   r11, 0(r3)            # im[bi]'
+    # ---- loop control --------------------------------------------------
+    addi r8, r8, 1
+    blt  r8, r5, bfly_loop
+    add  r7, r7, r4
+    li   r1, {_N}
+    blt  r7, r1, group_loop
+    # ---- verbose mode: dump the full stage state ----------------------
+    la   r2, rebuf
+    li   r3, {4 * _N}
+    li   r1, 1
+    syscall
+    la   r2, imbuf
+    li   r3, {4 * _N}
+    li   r1, 1
+    syscall
+    slli r4, r4, 1
+    b    stage_loop
+stages_done:
+    # ---- interleave re/im into the output buffer -----------------------
+    la   r1, rebuf
+    la   r2, imbuf
+    la   r3, outbuf
+    li   r4, {_N}
+pack_loop:
+    lw   r5, 0(r1)
+    sw   r5, 0(r3)
+    lw   r5, 0(r2)
+    sw   r5, 4(r3)
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, 8
+    addi r4, r4, -1
+    bnez r4, pack_loop
+{emit_write('outbuf', 8 * _N)}
+{emit_exit(0)}
+
+.data
+{data_words('rebuf', reordered)}
+imbuf:
+    .space {4 * _N}
+{data_words('costab', cos_tab)}
+{data_words('sintab', sin_tab)}
+outbuf:
+    .space {8 * _N}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="fft",
+        description="64-point radix-2 fixed-point FFT",
+        source=_source(),
+        reference=reference,
+        approx_instructions=9000,
+        tags=("telecomm", "fixed-point", "mul-heavy"),
+    )

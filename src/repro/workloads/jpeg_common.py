@@ -1,0 +1,136 @@
+"""Shared integer-DCT machinery for the cjpeg / djpeg workloads.
+
+Both workloads use the same Q13 cosine table and the same exact
+integer arithmetic in their Python references and their assembly, so
+djpeg's input can be generated at build time by running cjpeg's
+forward path in Python.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .common import random_bytes
+
+#: number of 8x8 blocks processed by each workload
+N_BLOCKS = 1
+
+_IMG_SEED = 0x1A6E
+
+#: Q13 scaled DCT-II basis: C[u][x] = 0.5 * c_u * cos((2x+1) u pi / 16)
+COS_SHIFT = 13
+
+
+def cos_table() -> list[int]:
+    table = []
+    for u in range(8):
+        cu = 1.0 / math.sqrt(2.0) if u == 0 else 1.0
+        for x in range(8):
+            value = 0.5 * cu * math.cos((2 * x + 1) * u * math.pi / 16.0)
+            table.append(int(round(value * (1 << COS_SHIFT))))
+    return table
+
+
+#: luminance-style quantisation table (coarsened for the small inputs)
+QUANT = (
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+)
+
+ZIGZAG = (
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+)
+
+
+def trunc_div(a: int, b: int) -> int:
+    """C-style signed division (truncates toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def image_blocks() -> list[list[int]]:
+    """N_BLOCKS 8x8 pixel blocks with gradient + noise structure."""
+    raw = random_bytes(_IMG_SEED, 64 * N_BLOCKS)
+    blocks = []
+    for b in range(N_BLOCKS):
+        block = []
+        for y in range(8):
+            for x in range(8):
+                base = (x * 16 + y * 9 + b * 37) & 0x7F
+                block.append((base + (raw[64 * b + 8 * y + x] & 63))
+                             & 0xFF)
+        blocks.append(block)
+    return blocks
+
+
+def forward_dct(block: list[int]) -> list[int]:
+    """Level shift + separable integer DCT (row pass then column pass)."""
+    table = cos_table()
+    work = [p - 128 for p in block]
+    tmp = [0] * 64
+    for y in range(8):
+        for u in range(8):
+            acc = sum(work[8 * y + x] * table[8 * u + x] for x in range(8))
+            tmp[8 * y + u] = acc >> COS_SHIFT
+    out = [0] * 64
+    for x in range(8):
+        for u in range(8):
+            acc = sum(tmp[8 * y + x] * table[8 * u + y] for y in range(8))
+            out[8 * u + x] = acc >> COS_SHIFT
+    return out
+
+
+def quantise(coeffs: list[int]) -> list[int]:
+    return [trunc_div(c, q) for c, q in zip(coeffs, QUANT)]
+
+
+def rle_encode(quantised: list[int]) -> bytes:
+    """Zigzag scan + (run, value) byte pairs, EOB = (0, 0)."""
+    out = bytearray()
+    run = 0
+    for k in range(64):
+        value = quantised[ZIGZAG[k]]
+        if value == 0:
+            run += 1
+            continue
+        value = max(-128, min(127, value))
+        out.append(run & 0xFF)
+        out.append(value & 0xFF)
+        run = 0
+    out += b"\x00\x00"
+    return bytes(out)
+
+
+def cjpeg_quantised_blocks() -> list[list[int]]:
+    """The quantised coefficients cjpeg produces (djpeg's input)."""
+    return [quantise(forward_dct(b)) for b in image_blocks()]
+
+
+def inverse_dct(coeffs: list[int]) -> list[int]:
+    """Integer IDCT: the transposed (orthonormal) table, >> COS_SHIFT."""
+    table = cos_table()
+    tmp = [0] * 64
+    for y in range(8):
+        for x in range(8):
+            acc = sum(coeffs[8 * y + u] * table[8 * u + x]
+                      for u in range(8))
+            tmp[8 * y + x] = acc >> COS_SHIFT
+    out = [0] * 64
+    for x in range(8):
+        for y in range(8):
+            acc = sum(tmp[8 * u + x] * table[8 * u + y] for u in range(8))
+            out[8 * y + x] = acc >> COS_SHIFT
+    return out

@@ -1,0 +1,108 @@
+"""qsort — recursive quicksort (Lomuto partition) of 128 words.
+
+MiBench's auto/qsort analogue.  Exercises the call stack (recursive
+calls with saved frames), data-dependent branching and heavy pointer
+arithmetic.  Values are 31-bit positive so signed comparison orders
+identically on both ISAs.  Output: the sorted array.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    WorkloadSpec,
+    data_words,
+    emit_exit,
+    emit_write,
+    le32,
+    xorshift32_stream,
+)
+
+_N = 128
+_SEED = 0x50F7
+
+
+def _input_values() -> list[int]:
+    return [v & 0x7FFF_FFFF for v in xorshift32_stream(_SEED, _N)]
+
+
+def reference() -> bytes:
+    return b"".join(le32(v) for v in sorted(_input_values()))
+
+
+def _source() -> str:
+    return f"""
+# qsort: recursive quicksort of {_N} 32-bit words
+.text
+_start:
+    la   r4, arr             # r4 = array base (global, callee-safe)
+    li   r2, 0               # lo
+    li   r3, {_N - 1}        # hi
+    call qsort_fn
+{emit_write('arr', 4 * _N)}
+{emit_exit(0)}
+
+# --- qsort_fn(lo=r2, hi=r3); array base in r4; clobbers r5-r10 --------
+qsort_fn:
+    bge  r2, r3, qs_ret
+    # ---- Lomuto partition: pivot = arr[hi] ----------------------------
+    slli r5, r3, 2
+    add  r5, r5, r4
+    lw   r6, 0(r5)           # r6 = pivot
+    addi r7, r2, -1          # r7 = i
+    mv   r8, r2              # r8 = j
+part_loop:
+    bge  r8, r3, part_done
+    slli r9, r8, 2
+    add  r9, r9, r4
+    lw   r10, 0(r9)          # arr[j]
+    bgt  r10, r6, part_next
+    addi r7, r7, 1           # i++
+    slli r5, r7, 2
+    add  r5, r5, r4
+    lw   r11, 0(r5)          # swap arr[i], arr[j]
+    sw   r10, 0(r5)
+    sw   r11, 0(r9)
+part_next:
+    addi r8, r8, 1
+    b    part_loop
+part_done:
+    addi r7, r7, 1           # p = i + 1
+    slli r5, r7, 2
+    add  r5, r5, r4
+    lw   r10, 0(r5)          # swap arr[p], arr[hi]
+    slli r9, r3, 2
+    add  r9, r9, r4
+    lw   r11, 0(r9)
+    sw   r11, 0(r5)
+    sw   r10, 0(r9)
+    # ---- recurse: qsort(lo, p-1); qsort(p+1, hi) ----------------------
+    addi sp, sp, -32
+    sw   r2, 0(sp)           # lo
+    sw   r3, 4(sp)           # hi
+    sw   r7, 8(sp)           # p
+    sw   lr, 12(sp)
+    addi r3, r7, -1
+    call qsort_fn            # qsort(lo, p-1)
+    lw   r7, 8(sp)
+    lw   r3, 4(sp)
+    addi r2, r7, 1
+    call qsort_fn            # qsort(p+1, hi)
+    lw   lr, 12(sp)
+    addi sp, sp, 32
+qs_ret:
+    ret
+
+.data
+{data_words('arr', _input_values())}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="qsort",
+        description="recursive quicksort of a 128-word array",
+        source=_source(),
+        reference=reference,
+        approx_instructions=11000,
+        tags=("auto", "integer", "recursive", "stack-heavy"),
+    )

@@ -1,0 +1,351 @@
+"""rijndael — AES-128 encryption (2 blocks, full key schedule in asm).
+
+MiBench's security/rijndael analogue.  The S-box is a build-time
+table; the key expansion and the ten encryption rounds (SubBytes,
+ShiftRows, MixColumns, AddRoundKey) all run in assembly, byte-wise.
+Everything is 8-bit data, so the code is trivially portable across
+the two ISAs.  Output: 32 bytes of ciphertext.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    WorkloadSpec,
+    data_bytes,
+    emit_exit,
+    emit_write,
+    random_bytes,
+)
+
+_SEED_KEY = 0xAE5E
+_SEED_PT = 0xB10C
+_N_BLOCKS = 2
+
+
+def _sbox() -> bytes:
+    # standard AES S-box, computed (not pasted) for self-containment
+    p, q = 1, 1
+    inverse = [0] * 256
+    # build multiplicative inverses via log/antilog over GF(2^8)
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    inverse[0] = 0
+    for value in range(1, 256):
+        inverse[value] = exp[255 - log[value]]
+    del p, q
+    out = bytearray(256)
+    for value in range(256):
+        b = inverse[value]
+        s = b
+        for _ in range(4):
+            b = ((b << 1) | (b >> 7)) & 0xFF
+            s ^= b
+        out[value] = s ^ 0x63
+    return bytes(out)
+
+
+def _key() -> bytes:
+    return random_bytes(_SEED_KEY, 16)
+
+
+def _plaintext() -> bytes:
+    return random_bytes(_SEED_PT, 16 * _N_BLOCKS)
+
+
+_SHIFT_ROWS = bytes((0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11))
+_RCON = bytes((0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36))
+
+
+def _xtime(b: int) -> int:
+    return ((b << 1) ^ (0x1B if b & 0x80 else 0)) & 0xFF
+
+
+def _expand_key(key: bytes) -> bytes:
+    sbox = _sbox()
+    w = bytearray(key)
+    for i in range(4, 44):
+        temp = list(w[4 * (i - 1):4 * i])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [sbox[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        for j in range(4):
+            temp[j] ^= w[4 * (i - 4) + j]
+        w.extend(temp)
+    return bytes(w)
+
+
+def _encrypt_block(block: bytes, round_keys: bytes) -> bytes:
+    sbox = _sbox()
+    state = bytearray(b ^ k for b, k in zip(block, round_keys[:16]))
+    for rnd in range(1, 11):
+        # SubBytes + ShiftRows
+        state = bytearray(sbox[state[_SHIFT_ROWS[i]]] for i in range(16))
+        if rnd < 10:
+            mixed = bytearray(16)
+            for col in range(4):
+                s = state[4 * col:4 * col + 4]
+                t = s[0] ^ s[1] ^ s[2] ^ s[3]
+                for row in range(4):
+                    mixed[4 * col + row] = (s[row] ^ t
+                                            ^ _xtime(s[row]
+                                                     ^ s[(row + 1) % 4]))
+            state = mixed
+        rk = round_keys[16 * rnd:16 * rnd + 16]
+        state = bytearray(b ^ k for b, k in zip(state, rk))
+    return bytes(state)
+
+
+def reference() -> bytes:
+    round_keys = _expand_key(_key())
+    pt = _plaintext()
+    out = bytearray()
+    for i in range(_N_BLOCKS):
+        out += _encrypt_block(pt[16 * i:16 * i + 16], round_keys)
+    return bytes(out)
+
+
+def _source() -> str:
+    return f"""
+# rijndael: AES-128 encryption of {_N_BLOCKS} blocks with in-asm key schedule
+.text
+_start:
+    # =========== key expansion: rkeys[0:16] = key; expand to 176 ======
+    la   r1, key
+    la   r2, rkeys
+    li   r3, 16
+kx_copy:
+    lbu  r4, 0(r1)
+    sb   r4, 0(r2)
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r3, r3, -1
+    bnez r3, kx_copy
+    li   r5, 4                 # r5 = word index i
+kx_loop:
+    la   r2, rkeys
+    slli r3, r5, 2
+    add  r3, r2, r3            # &w[i]
+    # temp = w[i-1] bytes in r6..r9
+    lbu  r6, -4(r3)
+    lbu  r7, -3(r3)
+    lbu  r8, -2(r3)
+    lbu  r9, -1(r3)
+    andi r4, r5, 3
+    bnez r4, kx_noperm
+    # rotword: (b0,b1,b2,b3) <- (b1,b2,b3,b0), then subword + rcon
+    mv   r4, r6
+    mv   r6, r7
+    mv   r7, r8
+    mv   r8, r9
+    mv   r9, r4
+    la   r1, sbox
+    add  r4, r1, r6
+    lbu  r6, 0(r4)
+    add  r4, r1, r7
+    lbu  r7, 0(r4)
+    add  r4, r1, r8
+    lbu  r8, 0(r4)
+    add  r4, r1, r9
+    lbu  r9, 0(r4)
+    # rcon[i/4 - 1]
+    srli r4, r5, 2
+    addi r4, r4, -1
+    la   r1, rcon
+    add  r4, r1, r4
+    lbu  r4, 0(r4)
+    xor  r6, r6, r4
+kx_noperm:
+    # temp ^= w[i-4]
+    lbu  r4, -16(r3)
+    xor  r6, r6, r4
+    lbu  r4, -15(r3)
+    xor  r7, r7, r4
+    lbu  r4, -14(r3)
+    xor  r8, r8, r4
+    lbu  r4, -13(r3)
+    xor  r9, r9, r4
+    sb   r6, 0(r3)
+    sb   r7, 1(r3)
+    sb   r8, 2(r3)
+    sb   r9, 3(r3)
+    addi r5, r5, 1
+    slti r4, r5, 44
+    bnez r4, kx_loop
+
+    # =========== encrypt each block ===================================
+    li   r12, 0                # r12 = block index
+enc_block:
+    # ---- state = plaintext ^ rkeys[0:16] ------------------------------
+    la   r1, plain
+    slli r2, r12, 4
+    add  r1, r1, r2
+    la   r2, rkeys
+    la   r3, state
+    li   r4, 16
+ark0_loop:
+    lbu  r5, 0(r1)
+    lbu  r6, 0(r2)
+    xor  r5, r5, r6
+    sb   r5, 0(r3)
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, ark0_loop
+    li   r11, 1                # r11 = round
+enc_round:
+    # ---- SubBytes + ShiftRows: tmp[i] = sbox[state[sr[i]]] ------------
+    la   r1, srtab
+    la   r2, state
+    la   r3, tmpst
+    la   r4, sbox
+    li   r5, 0
+sbsr_loop:
+    add  r6, r1, r5
+    lbu  r6, 0(r6)             # sr[i]
+    add  r6, r2, r6
+    lbu  r6, 0(r6)             # state[sr[i]]
+    add  r6, r4, r6
+    lbu  r6, 0(r6)             # sbox[...]
+    add  r7, r3, r5
+    sb   r6, 0(r7)
+    addi r5, r5, 1
+    slti r6, r5, 16
+    bnez r6, sbsr_loop
+    # ---- MixColumns (skip in round 10) --------------------------------
+    li   r1, 10
+    beq  r11, r1, mix_skip
+    la   r1, tmpst
+    li   r2, 0                 # column
+mix_loop:
+    slli r3, r2, 2
+    add  r3, r1, r3            # &col[0]
+    lbu  r4, 0(r3)
+    lbu  r5, 1(r3)
+    lbu  r6, 2(r3)
+    lbu  r7, 3(r3)
+    xor  r8, r4, r5
+    xor  r8, r8, r6
+    xor  r8, r8, r7            # t = s0^s1^s2^s3
+    # s0' = s0 ^ t ^ xtime(s0^s1)
+    xor  r9, r4, r5
+    slli r10, r9, 1
+    srli r9, r9, 7
+    neg  r9, r9
+    andi r9, r9, 0x1B
+    xor  r10, r10, r9
+    andi r10, r10, 0xFF
+    xor  r10, r10, r4
+    xor  r10, r10, r8
+    sb   r10, 0(r3)
+    # s1' = s1 ^ t ^ xtime(s1^s2)
+    xor  r9, r5, r6
+    slli r10, r9, 1
+    srli r9, r9, 7
+    neg  r9, r9
+    andi r9, r9, 0x1B
+    xor  r10, r10, r9
+    andi r10, r10, 0xFF
+    xor  r10, r10, r5
+    xor  r10, r10, r8
+    sb   r10, 1(r3)
+    # s2' = s2 ^ t ^ xtime(s2^s3)
+    xor  r9, r6, r7
+    slli r10, r9, 1
+    srli r9, r9, 7
+    neg  r9, r9
+    andi r9, r9, 0x1B
+    xor  r10, r10, r9
+    andi r10, r10, 0xFF
+    xor  r10, r10, r6
+    xor  r10, r10, r8
+    sb   r10, 2(r3)
+    # s3' = s3 ^ t ^ xtime(s3^s0)
+    xor  r9, r7, r4
+    slli r10, r9, 1
+    srli r9, r9, 7
+    neg  r9, r9
+    andi r9, r9, 0x1B
+    xor  r10, r10, r9
+    andi r10, r10, 0xFF
+    xor  r10, r10, r7
+    xor  r10, r10, r8
+    sb   r10, 3(r3)
+    addi r2, r2, 1
+    slti r3, r2, 4
+    bnez r3, mix_loop
+mix_skip:
+    # ---- AddRoundKey: state = tmpst ^ rkeys[16*round] ------------------
+    la   r1, tmpst
+    la   r2, rkeys
+    slli r3, r11, 4
+    add  r2, r2, r3
+    la   r3, state
+    li   r4, 16
+ark_loop:
+    lbu  r5, 0(r1)
+    lbu  r6, 0(r2)
+    xor  r5, r5, r6
+    sb   r5, 0(r3)
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    bnez r4, ark_loop
+    addi r11, r11, 1
+    slti r1, r11, 11
+    bnez r1, enc_round
+    # ---- copy state to output ------------------------------------------
+    la   r1, state
+    la   r2, outbuf
+    slli r3, r12, 4
+    add  r2, r2, r3
+    li   r4, 16
+out_copy:
+    lbu  r5, 0(r1)
+    sb   r5, 0(r2)
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r4, r4, -1
+    bnez r4, out_copy
+    addi r12, r12, 1
+    slti r1, r12, {_N_BLOCKS}
+    bnez r1, enc_block
+{emit_write('outbuf', 16 * _N_BLOCKS)}
+{emit_exit(0)}
+
+.data
+{data_bytes('sbox', _sbox())}
+{data_bytes('key', _key())}
+{data_bytes('plain', _plaintext())}
+{data_bytes('srtab', _SHIFT_ROWS)}
+{data_bytes('rcon', _RCON)}
+rkeys:
+    .space 176
+state:
+    .space 16
+tmpst:
+    .space 16
+outbuf:
+    .space {16 * _N_BLOCKS}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="rijndael",
+        description="AES-128 encryption with in-assembly key schedule",
+        source=_source(),
+        reference=reference,
+        approx_instructions=9000,
+        tags=("security", "byte-oriented", "table-lookup"),
+    )

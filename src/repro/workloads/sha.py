@@ -1,0 +1,254 @@
+"""sha — SHA-1 over a 104-byte message (two padded blocks).
+
+MiBench's security/sha analogue.  The message is padded at build time
+(padding is constant work); the assembly performs the full message
+schedule expansion and all 80 rounds per block.  After each block the
+running digest state is written out (mirroring MiBench sha's verbose
+mode), which also gives the workload a realistic kernel-time share —
+the paper reports ~19.5% kernel time for sha.
+
+Arithmetic convention: zero-extended 32-bit values with an explicit
+mask register (``r12 = 0xFFFFFFFF``), so the constant-amount rotations
+can use immediate shifts portably on both ISAs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .common import (
+    WorkloadSpec,
+    data_words,
+    emit_exit,
+    emit_write,
+    le32,
+    random_bytes,
+    rotl32,
+    u32,
+)
+
+_MSG_LEN = 104
+_SEED = 0x5EED5
+
+
+def _padded_message() -> bytes:
+    msg = random_bytes(_SEED, _MSG_LEN)
+    bit_len = 8 * len(msg)
+    padded = msg + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack(">Q", bit_len)
+    assert len(padded) % 64 == 0
+    return padded
+
+
+def _message_words() -> list[int]:
+    padded = _padded_message()
+    return list(struct.unpack(f">{len(padded) // 4}I", padded))
+
+
+_H_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def reference() -> bytes:
+    """SHA-1 with a per-block state dump (little-endian words)."""
+    words = _message_words()
+    h = list(_H_INIT)
+    out = bytearray()
+    for block in range(len(words) // 16):
+        w = words[16 * block:16 * block + 16] + [0] * 64
+        for i in range(16, 80):
+            w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1)
+        a, b, c, d, e = h
+        for i in range(80):
+            if i < 20:
+                f, k = (b & c) | (~b & d & 0xFFFF_FFFF), _K[0]
+            elif i < 40:
+                f, k = b ^ c ^ d, _K[1]
+            elif i < 60:
+                f, k = (b & c) | (b & d) | (c & d), _K[2]
+            else:
+                f, k = b ^ c ^ d, _K[3]
+            temp = u32(rotl32(a, 5) + f + e + k + w[i])
+            e, d, c, b, a = d, c, rotl32(b, 30), a, temp
+        h = [u32(x + y) for x, y in zip(h, (a, b, c, d, e))]
+        for value in h:
+            out += le32(value)
+    return bytes(out)
+
+
+def _rot_asm(dst: str, src: str, n: int, t1: str = "r2",
+             t2: str = "r3") -> str:
+    """rotl32 with immediate shifts + mask register r12."""
+    return "\n".join([
+        f"    slli {t1}, {src}, {n}",
+        f"    srli {t2}, {src}, {32 - n}",
+        f"    or   {dst}, {t1}, {t2}",
+        f"    and  {dst}, {dst}, r12",
+    ])
+
+
+def _source() -> str:
+    n_blocks = len(_message_words()) // 16
+    return f"""
+# sha: SHA-1 over a {_MSG_LEN}-byte message ({n_blocks} blocks)
+.text
+_start:
+    # 32-bit mask register: srli by 32 is a no-op on mRISC-32 (shift
+    # amounts are mod XLEN), and truncates the sign-extension on
+    # mRISC-64 — a portable way to build zero-extended 0xFFFFFFFF.
+    li   r12, -1
+    srli r12, r12, 32
+    li   r11, 0               # r11 = block index
+block_loop:
+    # ---- copy block words into the schedule buffer -------------------
+    la   r1, msg
+    slli r2, r11, 6           # block * 64 bytes
+    add  r1, r1, r2
+    la   r2, wbuf
+    li   r3, 16
+copy_loop:
+    lw   r4, 0(r1)
+    and  r4, r4, r12
+    sw   r4, 0(r2)
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bnez r3, copy_loop
+    # ---- schedule expansion: w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16])
+    la   r1, wbuf
+    li   r3, 16               # i
+expand_loop:
+    slli r4, r3, 2
+    add  r4, r4, r1           # &w[i]
+    lw   r5, -12(r4)          # w[i-3]
+    lw   r6, -32(r4)          # w[i-8]
+    xor  r5, r5, r6
+    lw   r6, -56(r4)          # w[i-14]
+    xor  r5, r5, r6
+    lw   r6, -64(r4)          # w[i-16]
+    xor  r5, r5, r6
+    and  r5, r5, r12
+    slli r6, r5, 1
+    srli r5, r5, 31
+    or   r5, r5, r6
+    and  r5, r5, r12
+    sw   r5, 0(r4)
+    addi r3, r3, 1
+    slti r4, r3, 80
+    bnez r4, expand_loop
+    # ---- initialise working vars from the running digest --------------
+    la   r1, hstate
+    lw   r4, 0(r1)            # a
+    lw   r5, 4(r1)            # b
+    lw   r6, 8(r1)            # c
+    lw   r7, 12(r1)           # d
+    lw   r8, 16(r1)           # e
+    and  r4, r4, r12
+    and  r5, r5, r12
+    and  r6, r6, r12
+    and  r7, r7, r12
+    and  r8, r8, r12
+    li   r9, 0                # round index i
+round_loop:
+    # ---- select f (into r10) and k (into r1) by round range -----------
+    slti r2, r9, 20
+    beqz r2, rsel_2039
+    and  r10, r5, r6          # f = (b & c) | (~b & d)
+    not  r2, r5
+    and  r2, r2, r7
+    or   r10, r10, r2
+    and  r10, r10, r12
+    li   r1, {_K[0]:#x}
+    b    rsel_done
+rsel_2039:
+    slti r2, r9, 40
+    beqz r2, rsel_4059
+    xor  r10, r5, r6          # f = b ^ c ^ d
+    xor  r10, r10, r7
+    li   r1, {_K[1]:#x}
+    b    rsel_done
+rsel_4059:
+    slti r2, r9, 60
+    beqz r2, rsel_6079
+    and  r10, r5, r6          # f = (b&c) | (b&d) | (c&d)
+    and  r2, r5, r7
+    or   r10, r10, r2
+    and  r2, r6, r7
+    or   r10, r10, r2
+    li   r1, {_K[2]:#x}
+    b    rsel_done
+rsel_6079:
+    xor  r10, r5, r6
+    xor  r10, r10, r7
+    li   r1, {_K[3]:#x}
+rsel_done:
+    # ---- temp = rotl5(a) + f + e + k + w[i] ---------------------------
+{_rot_asm('r3', 'r4', 5)}
+    add  r3, r3, r10
+    add  r3, r3, r8
+    add  r3, r3, r1
+    la   r2, wbuf
+    slli r10, r9, 2
+    add  r2, r2, r10
+    lw   r2, 0(r2)
+    add  r3, r3, r2
+    and  r3, r3, r12          # temp
+    # ---- rotate the working variables ---------------------------------
+    mv   r8, r7               # e = d
+    mv   r7, r6               # d = c
+    slli r2, r5, 30           # c = rotl30(b)
+    srli r6, r5, 2
+    or   r6, r6, r2
+    and  r6, r6, r12
+    mv   r5, r4               # b = a
+    mv   r4, r3               # a = temp
+    addi r9, r9, 1
+    slti r2, r9, 80
+    bnez r2, round_loop
+    # ---- fold into the running digest ---------------------------------
+    la   r1, hstate
+    lw   r2, 0(r1)
+    add  r2, r2, r4
+    and  r2, r2, r12
+    sw   r2, 0(r1)
+    lw   r2, 4(r1)
+    add  r2, r2, r5
+    and  r2, r2, r12
+    sw   r2, 4(r1)
+    lw   r2, 8(r1)
+    add  r2, r2, r6
+    and  r2, r2, r12
+    sw   r2, 8(r1)
+    lw   r2, 12(r1)
+    add  r2, r2, r7
+    and  r2, r2, r12
+    sw   r2, 12(r1)
+    lw   r2, 16(r1)
+    add  r2, r2, r8
+    and  r2, r2, r12
+    sw   r2, 16(r1)
+    # ---- dump the running state (MiBench sha verbose mode) ------------
+{emit_write('hstate', 20)}
+    addi r11, r11, 1
+    slti r2, r11, {n_blocks}
+    bnez r2, block_loop
+{emit_exit(0)}
+
+.data
+{data_words('msg', _message_words())}
+{data_words('hstate', _H_INIT)}
+wbuf:
+    .space 320
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="sha",
+        description="SHA-1 digest with per-block state output",
+        source=_source(),
+        reference=reference,
+        approx_instructions=6500,
+        tags=("security", "integer", "rotation-heavy"),
+    )

@@ -1,0 +1,135 @@
+"""smooth — SUSAN-style 3x3 Gaussian smoothing of a 12x12 image.
+
+MiBench's automotive/susan (smoothing) analogue: a separable
+[1 2 1; 2 4 2; 1 2 1]/16 kernel over the interior of the image.
+Output: the smoothed interior (14x14 bytes).
+"""
+
+from __future__ import annotations
+
+from .common import (
+    WorkloadSpec,
+    data_bytes,
+    emit_exit,
+    emit_write,
+    random_bytes,
+)
+
+_W = 12
+_H = 12
+_SEED = 0x500074
+
+_KERNEL = (1, 2, 1, 2, 4, 2, 1, 2, 1)
+
+
+def _image() -> bytes:
+    noise = random_bytes(_SEED, _W * _H)
+    img = bytearray(_W * _H)
+    for y in range(_H):
+        for x in range(_W):
+            gradient = (x * 13 + y * 7) & 0x7F
+            img[y * _W + x] = (gradient + (noise[y * _W + x] & 63)) & 0xFF
+    return bytes(img)
+
+
+def reference() -> bytes:
+    img = _image()
+    inner = _W - 2
+    out = bytearray()
+    for y in range(1, _H - 1):
+        for x in range(1, _W - 1):
+            acc = 0
+            k = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    acc += _KERNEL[k] * img[(y + dy) * _W + (x + dx)]
+                    k += 1
+            out.append((acc >> 4) & 0xFF)
+    assert len(out) == inner * inner
+    return bytes(out)
+
+
+def _source() -> str:
+    inner = _W - 2
+    return f"""
+# smooth: 3x3 Gaussian smoothing ({_W}x{_H} -> {inner}x{inner})
+.text
+_start:
+    li   r4, 1                 # y
+y_loop:
+    li   r5, 1                 # x
+x_loop:
+    li   r7, 0                 # acc
+    li   r8, -1                # dy
+conv_y:
+    li   r9, -1                # dx
+conv_x:
+    # pixel = image[(y+dy)*16 + (x+dx)]
+    add  r1, r4, r8
+    li   r2, {_W}
+    mul  r1, r1, r2
+    add  r1, r1, r5
+    add  r1, r1, r9
+    la   r2, image
+    add  r1, r2, r1
+    lbu  r10, 0(r1)
+    # weight = kernel[(dy+1)*3 + (dx+1)]
+    addi r1, r8, 1
+    slli r2, r1, 1
+    add  r1, r1, r2            # (dy+1)*3
+    add  r1, r1, r9
+    addi r1, r1, 1
+    la   r2, kernel
+    add  r1, r2, r1
+    lbu  r11, 0(r1)
+    mul  r10, r10, r11
+    add  r7, r7, r10
+    addi r9, r9, 1
+    li   r1, 1
+    ble  r9, r1, conv_x
+    addi r8, r8, 1
+    ble  r8, r1, conv_y
+    # out[(y-1)*inner + (x-1)] = acc >> 4
+    srli r7, r7, 4
+    andi r7, r7, 0xFF
+    addi r1, r4, -1
+    li   r2, {inner}
+    mul  r1, r1, r2
+    addi r2, r5, -1
+    add  r1, r1, r2
+    la   r2, outbuf
+    add  r1, r2, r1
+    sb   r7, 0(r1)
+    addi r5, r5, 1
+    li   r1, {_W - 1}
+    blt  r5, r1, x_loop
+    # ---- stream the completed row out (how image writers behave) ----
+    la   r2, outbuf
+    addi r1, r4, -1
+    li   r3, {inner}
+    mul  r1, r1, r3
+    add  r2, r2, r1
+    li   r1, 1
+    syscall
+    addi r4, r4, 1
+    li   r1, {_H - 1}
+    blt  r4, r1, y_loop
+{emit_exit(0)}
+
+.data
+{data_bytes('image', _image())}
+{data_bytes('kernel', bytes(_KERNEL))}
+outbuf:
+    .space {inner * inner}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="smooth",
+        description="3x3 Gaussian image smoothing",
+        source=_source(),
+        reference=reference,
+        approx_instructions=9500,
+        tags=("automotive", "image", "mul-heavy"),
+    )

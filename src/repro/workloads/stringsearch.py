@@ -1,0 +1,170 @@
+"""stringsearch — Boyer-Moore-Horspool search of 8 patterns in a text.
+
+MiBench's office/stringsearch analogue: for each pattern a 256-entry
+bad-character shift table is built, then the 512-byte text is scanned.
+Output: the match offset (or -1) of each pattern as little-endian
+words.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    WorkloadSpec,
+    data_bytes,
+    emit_exit,
+    emit_write,
+    le32,
+)
+
+_TEXT = (
+    b"In this paper, we revisit the system vulnerability stack for "
+    b"transient faults. We reveal severe pitfalls in widely used "
+    b"vulnerability measurement approaches, which separate the hardware "
+    b"and the software layers. We rely on microarchitecture level fault "
+    b"injection to derive very tight full-system vulnerability "
+    b"measurements. Analyzing two different ISAs and two different "
+    b"microarchitectures for each ISA, we quantify the sources and the "
+    b"magnitude of error of architecture and software level methods. "
+)[:512].ljust(512, b".")
+
+_PATTERNS = (
+    b"vulnerability stack",
+    b"microarchitecture",
+    b"transient faults",
+    b"not-in-the-text",
+    b"software layers",
+    b"magnitude",
+    b"zzz-absent-zzz",
+    b"fault injection",
+)
+
+
+def reference() -> bytes:
+    out = bytearray()
+    for pattern in _PATTERNS:
+        index = _TEXT.find(pattern)
+        out += le32(index if index >= 0 else -1)
+    return bytes(out)
+
+
+def _pattern_blob() -> tuple[bytes, list[tuple[int, int]]]:
+    """Concatenate patterns; return (blob, [(offset, length)])."""
+    blob = bytearray()
+    meta = []
+    for pattern in _PATTERNS:
+        meta.append((len(blob), len(pattern)))
+        blob.extend(pattern)
+    return bytes(blob), meta
+
+
+def _source() -> str:
+    blob, meta = _pattern_blob()
+    meta_words = []
+    for off, length in meta:
+        meta_words += [off, length]
+    from .common import data_words
+
+    return f"""
+# stringsearch: Horspool search of {len(_PATTERNS)} patterns in 512 bytes
+.text
+_start:
+    li   r12, 0                 # r12 = pattern index
+pat_loop:
+    # ---- pattern offset/length from the metadata table -----------------
+    la   r1, patmeta
+    slli r2, r12, 3
+    add  r1, r1, r2
+    lw   r10, 0(r1)             # pattern offset
+    lw   r11, 4(r1)             # pattern length m
+    la   r1, patterns
+    add  r10, r1, r10           # r10 = pattern base
+    # ---- build the bad-character table: shift[c] = m ---------------------
+    la   r1, shtab
+    li   r2, 256
+sh_init:
+    sw   r11, 0(r1)
+    addi r1, r1, 4
+    addi r2, r2, -1
+    bnez r2, sh_init
+    # shift[pat[i]] = m - 1 - i for i in 0 .. m-2
+    li   r2, 0
+sh_fill:
+    addi r3, r11, -1
+    bge  r2, r3, sh_done
+    add  r4, r10, r2
+    lbu  r4, 0(r4)              # pat[i]
+    slli r4, r4, 2
+    la   r5, shtab
+    add  r4, r5, r4
+    sub  r3, r3, r2             # m - 1 - i
+    sw   r3, 0(r4)
+    addi r2, r2, 1
+    b    sh_fill
+sh_done:
+    # ---- scan: pos in [0, n - m] ------------------------------------------
+    li   r2, 0                  # pos
+    li   r3, {len(_TEXT)}
+    sub  r3, r3, r11            # last valid pos
+scan_loop:
+    bgt  r2, r3, not_found
+    # compare pat[m-1 .. 0] with text[pos + ...] backwards
+    addi r4, r11, -1            # j
+cmp_loop:
+    add  r5, r2, r4
+    la   r6, text
+    add  r5, r6, r5
+    lbu  r5, 0(r5)              # text[pos + j]
+    add  r6, r10, r4
+    lbu  r6, 0(r6)              # pat[j]
+    bne  r5, r6, mismatch
+    addi r4, r4, -1
+    bge  r4, r0, cmp_loop
+    # ---- match at pos -------------------------------------------------------
+    mv   r9, r2
+    b    record
+mismatch:
+    # shift by shtab[text[pos + m - 1]]
+    addi r4, r11, -1
+    add  r5, r2, r4
+    la   r6, text
+    add  r5, r6, r5
+    lbu  r5, 0(r5)
+    slli r5, r5, 2
+    la   r6, shtab
+    add  r5, r6, r5
+    lw   r5, 0(r5)
+    add  r2, r2, r5
+    b    scan_loop
+not_found:
+    li   r9, -1
+record:
+    la   r1, outbuf
+    slli r2, r12, 2
+    add  r1, r1, r2
+    sw   r9, 0(r1)
+    addi r12, r12, 1
+    slti r1, r12, {len(_PATTERNS)}
+    bnez r1, pat_loop
+{emit_write('outbuf', 4 * len(_PATTERNS))}
+{emit_exit(0)}
+
+.data
+{data_bytes('text', _TEXT)}
+{data_bytes('patterns', blob)}
+{data_words('patmeta', meta_words)}
+shtab:
+    .space 1024
+outbuf:
+    .space {4 * len(_PATTERNS)}
+""".strip()
+
+
+def build() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="stringsearch",
+        description="Horspool multi-pattern text search",
+        source=_source(),
+        reference=reference,
+        approx_instructions=12000,
+        tags=("office", "byte-oriented", "branch-heavy"),
+    )

@@ -1,0 +1,68 @@
+"""Workload registry and program cache.
+
+Ten MiBench-named workloads (the paper's §III.C suite).  Each module
+under :mod:`repro.workloads` exposes ``build() -> WorkloadSpec``;
+this registry assembles them on demand (optionally through the
+software fault-tolerance transform) and caches the results —
+campaigns re-run the same binaries thousands of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from importlib import import_module
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .common import WorkloadSpec
+
+#: The suite, in the paper's figure order.
+WORKLOAD_NAMES = (
+    "fft",
+    "qsort",
+    "rijndael",
+    "sha",
+    "corner",
+    "cjpeg",
+    "djpeg",
+    "stringsearch",
+    "crc32",
+    "smooth",
+)
+
+
+@lru_cache(maxsize=None)
+def workload_spec(name: str) -> WorkloadSpec:
+    """Build (and cache) the :class:`WorkloadSpec` for *name*."""
+    if name not in WORKLOAD_NAMES:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"have {sorted(WORKLOAD_NAMES)}")
+    module = import_module(f"repro.workloads.{name}")
+    spec = module.build()
+    if spec.name != name:  # pragma: no cover - registry invariant
+        raise RuntimeError(f"module {name} built spec {spec.name!r}")
+    return spec
+
+
+@lru_cache(maxsize=None)
+def load_workload(name: str, isa: str, hardened: bool = False) -> Program:
+    """Assemble workload *name* for *isa*.
+
+    With ``hardened=True`` the source first passes through the
+    software-based fault-tolerance transform (duplication +
+    AN-encoding; mRISC-64 only — mirroring the paper's 64-bit-only
+    case study).
+    """
+    spec = workload_spec(name)
+    source = spec.source
+    if hardened:
+        from ..hardening import harden_source
+
+        source = harden_source(source, isa)
+    return assemble(source, isa,
+                    name=f"{name}{'+ft' if hardened else ''}")
+
+
+def all_specs() -> dict[str, WorkloadSpec]:
+    """name -> spec for the whole suite."""
+    return {name: workload_spec(name) for name in WORKLOAD_NAMES}

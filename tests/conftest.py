@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Campaign-running tests use deliberately small sample counts: they
+verify *machinery* (determinism, classification, aggregation), not
+statistical precision — the benchmark harness owns precision.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Keep campaign artefacts out of the user's real cache during tests.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR",
+    os.path.join(os.path.dirname(__file__), ".test-cache"))
+# Single-process campaigns inside the test suite.
+os.environ.setdefault("REPRO_WORKERS", "1")
+
+
+@pytest.fixture(scope="session")
+def a72():
+    from repro.uarch.config import CORTEX_A72
+
+    return CORTEX_A72
+
+
+@pytest.fixture(scope="session")
+def a9():
+    from repro.uarch.config import CORTEX_A9
+
+    return CORTEX_A9
+
+
+@pytest.fixture(scope="session")
+def regs64():
+    from repro.isa.registers import MR64, register_set
+
+    return register_set(MR64)
+
+
+@pytest.fixture(scope="session")
+def regs32():
+    from repro.isa.registers import MR32, register_set
+
+    return register_set(MR32)
+
+
+@pytest.fixture(scope="session")
+def sha_program_64():
+    from repro.isa.registers import MR64
+    from repro.workloads.suite import load_workload
+
+    return load_workload("sha", MR64)
+
+
+@pytest.fixture(scope="session")
+def crc_program_64():
+    from repro.isa.registers import MR64
+    from repro.workloads.suite import load_workload
+
+    return load_workload("crc32", MR64)
+
+
+def assemble_and_run(source: str, isa: str = "mrisc64", kernel: str = "sim",
+                     **kwargs):
+    """Helper used by many tests: assemble a snippet and run it."""
+    from repro.isa.assembler import assemble
+    from repro.uarch.functional import run_functional
+
+    program = assemble(source, isa, name="test")
+    return run_functional(program, kernel=kernel, **kwargs)

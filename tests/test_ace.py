@@ -1,0 +1,80 @@
+"""ACE lifetime analysis and its pessimism vs injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ace import LifetimeTracker, ace_analysis
+
+
+class TestLifetimeTracker:
+    def test_register_interval_closed_by_last_read(self):
+        tracker = LifetimeTracker(xlen=64)
+        tracker.reg_write(5, 10.0)
+        tracker.reg_read(5, 14.0)
+        tracker.reg_read(5, 20.0)
+        tracker.reg_release(5, 30.0)
+        assert tracker.reg_ace_cycles == pytest.approx(10.0)
+
+    def test_unread_register_is_unace(self):
+        tracker = LifetimeTracker(xlen=64)
+        tracker.reg_write(5, 10.0)
+        tracker.reg_release(5, 50.0)
+        assert tracker.reg_ace_cycles == 0.0
+
+    def test_rewrite_closes_previous_interval(self):
+        tracker = LifetimeTracker(xlen=64)
+        tracker.reg_write(5, 0.0)
+        tracker.reg_read(5, 4.0)
+        tracker.reg_write(5, 10.0)     # same slot reused
+        tracker.finalise()
+        assert tracker.reg_ace_cycles == pytest.approx(4.0)
+
+    def test_lsq_interval(self):
+        tracker = LifetimeTracker(xlen=64)
+        tracker.lsq_op(3.0, 9.0)
+        assert tracker.lsq_ace_cycles == pytest.approx(6.0)
+
+    def test_line_read_after_write_is_ace(self):
+        tracker = LifetimeTracker(xlen=64)
+        tracker.mem_access(0x100, 4, True, 10.0)    # store
+        tracker.mem_access(0x100, 4, False, 25.0)   # read -> ACE gap
+        tracker.mem_access(0x100, 4, True, 40.0)    # store -> un-ACE gap
+        assert tracker.line_ace_cycles == pytest.approx(15.0)
+
+    def test_straddling_access_touches_two_lines(self):
+        tracker = LifetimeTracker(xlen=64)
+        tracker.mem_access(60, 8, True, 1.0)
+        assert len(tracker.lines_touched) == 2
+
+
+class TestAceAnalysis:
+    @pytest.fixture(scope="class")
+    def sha_ace(self):
+        return ace_analysis("sha", "cortex-a72")
+
+    def test_estimates_in_range(self, sha_ace):
+        for structure, value in sha_ace.avf.items():
+            assert 0.0 <= value <= 1.0, structure
+        assert sha_ace.avf["RF"] > 0.01
+        assert sha_ace.avf["LSQ"] > 0.01
+
+    def test_summary_renders(self, sha_ace):
+        assert "ACE sha@cortex-a72" in sha_ace.summary()
+
+    def test_ace_overestimates_injection(self, sha_ace):
+        """The paper's point (§II.A): ACE is pessimistic relative to
+        fault injection."""
+        from repro.injectors.campaign import run_campaign
+
+        for structure in ("RF", "LSQ"):
+            campaign = run_campaign("sha", "cortex-a72",
+                                    injector="gefin",
+                                    structure=structure, n=30, seed=1)
+            assert sha_ace.avf[structure] >= campaign.vulnerability(), \
+                structure
+
+    def test_workload_dependence(self):
+        sha = ace_analysis("sha", "cortex-a72")
+        crc = ace_analysis("crc32", "cortex-a72")
+        assert sha.avf != crc.avf

@@ -1,0 +1,198 @@
+"""Cache model: hits, misses, write-back, LRU, taint flow, snoop."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import Cache, MemoryPort, TaintProbe
+from repro.uarch.memory import Memory, Region
+
+
+def make_hierarchy(l1_size=1024, l1_assoc=2, l2_size=4096, l2_assoc=4,
+                   line=64):
+    memory = Memory(regions=[Region("all", 0, 1 << 24)])
+    port = MemoryPort(memory, latency=100)
+    l2 = Cache("L2", l2_size, l2_assoc, line, 10, port)
+    l1 = Cache("L1", l1_size, l1_assoc, line, 2, l2)
+    return memory, l1, l2
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        memory, l1, _ = make_hierarchy()
+        memory.write(0x100, b"\xAA" * 8)
+        data, lat_miss, _ = l1.read(0x100, 8)
+        assert data == b"\xAA" * 8
+        assert lat_miss > l1.hit_latency
+        data, lat_hit, _ = l1.read(0x100, 8)
+        assert lat_hit == l1.hit_latency
+        assert l1.hits == 1 and l1.misses == 1
+
+    def test_write_read_roundtrip(self):
+        _, l1, _ = make_hierarchy()
+        l1.write(0x240, b"hello!!!")
+        data, _, _ = l1.read(0x240, 8)
+        assert data == b"hello!!!"
+
+    def test_write_back_not_write_through(self):
+        memory, l1, _ = make_hierarchy()
+        l1.write(0x300, b"\x55" * 4)
+        assert memory.read(0x300, 4) == b"\x00" * 4  # still dirty in L1
+
+    def test_read_straddles_line_boundary(self):
+        memory, l1, _ = make_hierarchy()
+        memory.write(60, bytes(range(8)))
+        data, _, _ = l1.read(60, 8)
+        assert data == bytes(range(8))
+
+    def test_eviction_writes_back_dirty_line(self):
+        memory, l1, _ = make_hierarchy(l1_size=128, l1_assoc=1, line=64)
+        l1.write(0x000, b"\x11" * 4)           # set 0
+        l1.write(0x080, b"\x22" * 4)           # set 0 again -> evict
+        # dirty line 0x000 must have been pushed down to L2, and from
+        # L2 it is still visible coherently
+        data, _, _ = l1.read(0x000, 4)
+        assert data == b"\x11" * 4
+
+    def test_lru_evicts_least_recent(self):
+        _, l1, _ = make_hierarchy(l1_size=256, l1_assoc=2, line=64)
+        # set 0 holds lines 0x000 and 0x100 (2 sets -> stride 128)
+        l1.read(0x000, 4)
+        l1.read(0x100, 4)
+        l1.read(0x000, 4)          # touch 0x000 again
+        l1.read(0x200, 4)          # evicts 0x100 (least recent)
+        index, tag = l1._index_tag(0x100)
+        assert l1._find(index, tag) is None
+        index, tag = l1._index_tag(0x000)
+        assert l1._find(index, tag) is not None
+
+    def test_occupancy_grows(self):
+        _, l1, _ = make_hierarchy()
+        assert l1.occupancy() == 0.0
+        l1.read(0, 4)
+        assert l1.occupancy() == pytest.approx(1 / l1.n_lines)
+
+    def test_bits_capacity(self):
+        _, l1, _ = make_hierarchy(l1_size=1024)
+        assert l1.bits == 1024 * 8
+
+
+class TestFaultInjection:
+    def test_flip_in_invalid_line_is_dead(self):
+        _, l1, _ = make_hierarchy()
+        assert l1.flip_bit(0, 0, 0) == {"live": False}
+
+    def test_flip_corrupts_read_data(self):
+        memory, l1, _ = make_hierarchy()
+        memory.write(0, b"\x00" * 64)
+        l1.read(0, 4)
+        index, _ = l1._index_tag(0)
+        info = l1.flip_bit(index, 0, 9)   # bit 1 of byte 1
+        assert info["live"]
+        data, _, tainted = l1.read(0, 4, TaintProbe())
+        assert data[1] == 0x02
+        assert tainted
+
+    def test_overwrite_clears_taint(self):
+        memory, l1, _ = make_hierarchy()
+        l1.write(0, b"\x00" * 8)
+        index, _ = l1._index_tag(0)
+        l1.flip_bit(index, 0, 0)
+        l1.write(0, b"\x07" * 8)          # architectural overwrite
+        data, _, tainted = l1.read(0, 8, TaintProbe())
+        assert data == b"\x07" * 8
+        assert not tainted
+
+    def test_clean_corrupt_line_dies_on_eviction(self):
+        memory, l1, _ = make_hierarchy(l1_size=128, l1_assoc=1, line=64)
+        memory.write(0x000, b"\xAB" * 64)
+        probe = TaintProbe()
+        l1.read(0x000, 4, probe)
+        index, _ = l1._index_tag(0x000)
+        l1.flip_bit(index, 0, 3)
+        l1.read(0x080, 4, probe)           # evicts the clean corrupt line
+        data, _, tainted = l1.read(0x000, 4, probe)
+        assert data == b"\xAB" * 4         # pristine again from below
+        assert not tainted
+
+    def test_dirty_corrupt_line_propagates_down(self):
+        memory, l1, l2 = make_hierarchy(l1_size=128, l1_assoc=1, line=64)
+        probe = TaintProbe()
+        l1.write(0x000, b"\xFF" * 4, probe)     # dirty
+        index, _ = l1._index_tag(0x000)
+        l1.flip_bit(index, 0, 0)                # corrupt bit 0 byte 0
+        l1.read(0x080, 4, probe)                # force eviction into L2
+        data, _, tainted = l1.read(0x000, 4, probe)
+        assert data[0] == 0xFE                  # corruption survived
+        assert tainted
+
+    def test_taint_reaches_main_memory_through_both_levels(self):
+        memory, l1, l2 = make_hierarchy(l1_size=128, l1_assoc=1,
+                                        l2_size=256, l2_assoc=1, line=64)
+        probe = TaintProbe()
+        l1.write(0x000, b"\x10" * 4, probe)
+        index, _ = l1._index_tag(0x000)
+        l1.flip_bit(index, 0, 0)
+        # evict out of L1 (same set), then out of L2 (same L2 set)
+        l1.read(0x080, 4, probe)
+        l1.read(0x100, 4, probe)
+        l1.read(0x180, 4, probe)
+        assert memory.read(0, 1)[0] == 0x11
+        assert 0 in probe.mem_taint
+
+
+class TestSnoop:
+    def test_snoop_returns_cached_copy(self):
+        memory, l1, _ = make_hierarchy()
+        l1.write(0x40, b"\xEE" * 4)
+        assert l1.snoop(0x40, 4) == b"\xEE" * 4
+
+    def test_snoop_misses_return_none(self):
+        _, l1, _ = make_hierarchy()
+        assert l1.snoop(0x40, 4) is None
+
+    def test_snoop_rejects_straddling_requests(self):
+        _, l1, _ = make_hierarchy()
+        with pytest.raises(ValueError):
+            l1.snoop(60, 8)
+
+    def test_snoop_does_not_change_stats(self):
+        memory, l1, _ = make_hierarchy()
+        l1.read(0, 4)
+        hits, misses = l1.hits, l1.misses
+        l1.snoop(0, 4)
+        l1.snoop(0x999, 2)
+        assert (l1.hits, l1.misses) == (hits, misses)
+
+
+class TestGeometryValidation:
+    def test_bad_geometry_rejected(self):
+        memory = Memory(regions=[Region("all", 0, 1 << 20)])
+        port = MemoryPort(memory, 10)
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 3, 64, 1, port)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.booleans(),                      # write?
+              st.integers(0, 2047),               # addr
+              st.integers(1, 8)),                 # size
+    min_size=1, max_size=40))
+def test_cache_equals_flat_memory_model(ops):
+    """Reads through the hierarchy always agree with a flat model."""
+    memory, l1, _ = make_hierarchy(l1_size=256, l1_assoc=2,
+                                   l2_size=512, l2_assoc=2)
+    flat = bytearray(4096)
+    counter = 1
+    for is_write, addr, size in ops:
+        if is_write:
+            payload = bytes((counter + i) & 0xFF for i in range(size))
+            counter += 1
+            l1.write(addr, payload)
+            flat[addr:addr + size] = payload
+        else:
+            data, _, _ = l1.read(addr, size)
+            assert data == bytes(flat[addr:addr + size])

@@ -1,0 +1,99 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("workloads", "configs", "run", "disasm",
+                        "campaign", "study", "casestudy"):
+            assert command in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCommands:
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "cortex-a72" in out and "mrisc32" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "sha" in out and "rijndael" in out
+
+    def test_run_functional(self, capsys):
+        assert main(["run", "crc32"]) == 0
+        out = capsys.readouterr().out
+        assert "status   : completed" in out
+
+    def test_run_pipeline_with_stats(self, capsys):
+        assert main(["run", "crc32", "--pipeline",
+                     "--config", "cortex-a9"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "l1d" in out and "branch" in out
+
+    def test_run_hexdump(self, capsys):
+        assert main(["run", "crc32", "--hexdump"]) == 0
+        out = capsys.readouterr().out
+        from repro.workloads.suite import workload_spec
+
+        assert workload_spec("crc32").reference_output().hex() in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "crc32"]) == 0
+        out = capsys.readouterr().out
+        assert "lbu" in out and "syscall" in out
+
+    def test_campaign_svf(self, capsys):
+        assert main(["campaign", "crc32", "--injector", "svf",
+                     "-n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "svf:crc32" in out and "crashes" in out
+
+    def test_campaign_gefin_reports_fpm(self, capsys):
+        assert main(["campaign", "crc32", "--structure", "RF",
+                     "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "HVF" in out and "WD=" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "crc32", "--count", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "0x00001000" in out and "window-closed" in out
+
+    def test_ace(self, capsys):
+        assert main(["ace", "crc32"]) == 0
+        out = capsys.readouterr().out
+        assert "ACE crc32@cortex-a72" in out
+
+    def test_ace_compare(self, capsys):
+        assert main(["ace", "crc32", "--compare", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "pessimism" in out
+
+    def test_fit(self, capsys):
+        assert main(["fit", "crc32", "-n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out
+
+    def test_study(self, capsys):
+        assert main(["study", "--workloads", "crc32,sha",
+                     "--methods", "svf,avf",
+                     "--n-avf", "4", "--n-pvf", "8",
+                     "--n-svf", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "SVF vs AVF" in out

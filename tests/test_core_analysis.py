@@ -1,0 +1,234 @@
+"""Analysis core: weighting, comparisons, rPVF, stack decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compare import (
+    compare_methods,
+    count_opposite_pairs,
+    effect_disagreements,
+    opposite_pairs,
+    total_pairs,
+)
+from repro.core.report import (
+    render_bar_chart,
+    render_percent_table,
+    render_stacked,
+    render_table,
+)
+from repro.core.rpvf import refine_pvf
+from repro.core.stack import decompose
+from repro.core.weighting import (
+    fit_rates,
+    fpm_distribution,
+    weighted_avf,
+    weighted_fpm_rates,
+    weighted_vulnerability,
+)
+from repro.uarch.config import CORTEX_A72, STRUCTURES
+
+
+class FakeCampaign:
+    """Minimal CampaignResult stand-in for pure-math tests."""
+
+    def __init__(self, vuln=0.0, sdc=0.0, crash=0.0, detected=0.0,
+                 fpm=None):
+        self._vuln, self._sdc, self._crash = vuln, sdc, crash
+        self._detected = detected
+        self._fpm = fpm or {}
+
+    def vulnerability(self):
+        return self._vuln
+
+    def sdc(self):
+        return self._sdc
+
+    def crash(self):
+        return self._crash
+
+    def detected(self):
+        return self._detected
+
+    def fpm_rates(self):
+        return {"WD": 0.0, "WI": 0.0, "WOI": 0.0, "ESC": 0.0,
+                **self._fpm}
+
+
+class TestWeighting:
+    def test_l2_dominates_weights(self):
+        weights = CORTEX_A72.structure_weights()
+        assert weights["L2"] > 0.85
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_weighted_avf_is_convex_combination(self):
+        per_structure = {s: FakeCampaign(vuln=0.5) for s in STRUCTURES}
+        assert weighted_avf(per_structure, CORTEX_A72) == \
+            pytest.approx(0.5)
+
+    def test_weighted_avf_tracks_l2(self):
+        per_structure = {s: FakeCampaign(vuln=0.0) for s in STRUCTURES}
+        per_structure["L2"] = FakeCampaign(vuln=0.1)
+        per_structure["RF"] = FakeCampaign(vuln=0.9)
+        value = weighted_avf(per_structure, CORTEX_A72)
+        assert 0.08 < value < 0.12   # L2 dominates, RF is tiny
+
+    def test_weighted_vulnerability_split(self):
+        per_structure = {s: FakeCampaign(vuln=0.3, sdc=0.1, crash=0.2)
+                         for s in STRUCTURES}
+        split = weighted_vulnerability(per_structure, CORTEX_A72)
+        assert split.total == pytest.approx(0.3)
+        assert split.sdc == pytest.approx(0.1)
+        assert split.crash == pytest.approx(0.2)
+        assert split.dominant_effect == "crash"
+
+    def test_weighted_fpm_rates(self):
+        per_structure = {s: FakeCampaign(fpm={"WD": 0.2, "ESC": 0.1})
+                         for s in STRUCTURES}
+        rates = weighted_fpm_rates(per_structure, CORTEX_A72)
+        assert rates["WD"] == pytest.approx(0.2)
+        assert rates["ESC"] == pytest.approx(0.1)
+
+    def test_fpm_distribution_normalisation(self):
+        dist = fpm_distribution({"WD": 0.2, "WI": 0.1, "WOI": 0.1,
+                                 "ESC": 0.2})
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["WD"] == pytest.approx(1 / 3)
+
+    def test_fpm_distribution_excluding_esc(self):
+        dist = fpm_distribution({"WD": 0.2, "WI": 0.1, "WOI": 0.1,
+                                 "ESC": 0.5}, include_esc=False)
+        assert "ESC" not in dist
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["WD"] == pytest.approx(0.5)
+
+    def test_empty_fpm_distribution(self):
+        dist = fpm_distribution({"WD": 0.0})
+        assert all(v == 0.0 for v in dist.values())
+
+    def test_fit_rates_sum(self):
+        per_structure = {s: FakeCampaign(vuln=0.01) for s in STRUCTURES}
+        rates = fit_rates(per_structure, CORTEX_A72, fit_per_bit=1.0)
+        assert rates["total"] == pytest.approx(
+            0.01 * CORTEX_A72.total_bits())
+        assert rates["L2"] > rates["RF"]
+
+
+class TestComparisons:
+    A = {"x": 0.1, "y": 0.5, "z": 0.3}
+    B = {"x": 0.25, "y": 0.2, "z": 0.4}  # flips (x,y) and (y,z) only
+
+    def test_opposite_pairs_found(self):
+        pairs = opposite_pairs(self.A, self.B)
+        names = {(p.first, p.second) for p in pairs}
+        assert ("x", "y") in names
+        assert ("y", "z") in names
+        assert ("x", "z") not in names
+
+    def test_count_and_total(self):
+        assert count_opposite_pairs(self.A, self.B) == 2
+        assert total_pairs(self.A, self.B) == 3
+
+    def test_identical_methods_no_disagreement(self):
+        assert count_opposite_pairs(self.A, self.A) == 0
+
+    def test_tolerance_suppresses_noise(self):
+        near_a = {"x": 0.100, "y": 0.101}
+        near_b = {"x": 0.101, "y": 0.100}
+        assert count_opposite_pairs(near_a, near_b) == 1
+        assert count_opposite_pairs(near_a, near_b,
+                                    tolerance=0.01) == 0
+
+    def test_effect_disagreements(self):
+        effects_a = {"x": "sdc", "y": "crash", "z": "sdc"}
+        effects_b = {"x": "crash", "y": "crash", "z": "sdc"}
+        assert effect_disagreements(effects_a, effects_b) == ["x"]
+
+    def test_compare_methods_row(self):
+        row = compare_methods("SVF vs AVF", self.A, self.B,
+                              {"x": "sdc", "y": "sdc", "z": "sdc"},
+                              {"x": "sdc", "y": "crash", "z": "sdc"})
+        assert row.opposite_total == 2
+        assert row.pairs_considered == 3
+        assert row.effect_disagreements == 1
+        assert row.benchmarks_considered == 3
+        assert "2/3" in row.as_row()[1]
+
+
+class TestRPVF:
+    def test_refinement_is_weighted_mixture(self):
+        pvf_by_model = {
+            "WD": FakeCampaign(vuln=0.4, sdc=0.4, crash=0.0),
+            "WOI": FakeCampaign(vuln=0.2, sdc=0.0, crash=0.2),
+            "WI": FakeCampaign(vuln=0.1, sdc=0.0, crash=0.1),
+        }
+        weighted_fpm = {"WD": 0.5, "WOI": 0.25, "WI": 0.25, "ESC": 0.5}
+        refined = refine_pvf(pvf_by_model, weighted_fpm)
+        assert refined.total == pytest.approx(
+            0.5 * 0.4 + 0.25 * 0.2 + 0.25 * 0.1)
+        assert refined.sdc == pytest.approx(0.2)
+        assert refined.crash == pytest.approx(0.075)
+        # ESC must have been excluded from the weights
+        assert sum(refined.fpm_weights.values()) == pytest.approx(1.0)
+        assert "ESC" not in refined.fpm_weights
+
+    def test_crash_share_grows_vs_wd_only(self):
+        """The refinement's purpose: mixing in WOI/WI raises the crash
+        share compared to WD-only PVF."""
+        pvf_by_model = {
+            "WD": FakeCampaign(vuln=0.4, sdc=0.38, crash=0.02),
+            "WOI": FakeCampaign(vuln=0.3, sdc=0.05, crash=0.25),
+            "WI": FakeCampaign(vuln=0.3, sdc=0.02, crash=0.28),
+        }
+        refined = refine_pvf(pvf_by_model,
+                             {"WD": 0.4, "WOI": 0.3, "WI": 0.3})
+        wd_only = pvf_by_model["WD"]
+        assert refined.crash / refined.total > \
+            wd_only.crash() / wd_only.vulnerability()
+
+
+class TestStackDecomposition:
+    def test_decompose_real_campaign(self):
+        from repro.injectors.campaign import run_campaign
+
+        campaign = run_campaign("sha", CORTEX_A72, injector="gefin",
+                                structure="RF", n=40, seed=31)
+        decomposition = decompose(campaign)
+        assert decomposition.hvf >= decomposition.avf
+        assert 0.0 <= decomposition.software_masking <= 1.0
+        assert decomposition.reach_software <= decomposition.hvf + 1e-9
+
+    def test_empty_campaign_rejected(self):
+        from repro.injectors.campaign import CampaignResult
+
+        empty = CampaignResult(injector="gefin", workload="x",
+                               config_name="cortex-a72", n=0, seed=0)
+        with pytest.raises(ValueError):
+            decompose(empty)
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["sha", 0.123456], ["qsort", 1.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "sha" in text and "0.123" in text
+
+    def test_render_percent_table(self):
+        text = render_percent_table(["w", "v"], [["sha", 0.0123]])
+        assert "1.23%" in text
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart({"WD": 0.5, "ESC": 0.25}, title="fpm")
+        assert "WD" in text and "#" in text
+        assert text.index("#" * 10) > 0
+
+    def test_render_stacked(self):
+        text = render_stacked({"sha": (0.02, 0.04)})
+        assert "s" in text and "C" in text
+
+    def test_empty_inputs(self):
+        assert render_bar_chart({}, title="t") == "t"
+        assert render_stacked({}) == ""

@@ -1,0 +1,258 @@
+"""Instruction semantics: tiny programs checked against Python models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.registers import MR32, MR64
+from repro.uarch.cpu import _sdiv, _srem, sext32, to_signed
+from tests.conftest import assemble_and_run
+
+
+def run_expr(body: str, isa: str = MR64) -> int:
+    """Run a snippet that leaves its result in r10; returns r10's value
+    as written to the output buffer (low 32 bits via sw + next 32 via
+    a shifted store on MR64)."""
+    src = f"""
+.text
+_start:
+{body}
+    la   r2, out
+    sw   r10, 0(r2)
+    srli r11, r10, 16
+    srli r11, r11, 16
+    sw   r11, 4(r2)
+    li   r3, 8
+    li   r1, 1
+    syscall
+    li   r1, 0
+    li   r2, 0
+    syscall
+.data
+out: .space 8
+"""
+    result = assemble_and_run(src, isa)
+    assert result.status.value == "completed", result.status
+    return int.from_bytes(result.output, "little")
+
+
+XLEN_MASK_64 = (1 << 64) - 1
+
+
+class TestBasicAlu:
+    def test_add_wraps(self):
+        assert run_expr("    li r4, -1\n    li r5, 2\n"
+                        "    add r10, r4, r5") == 1
+
+    def test_sub(self):
+        assert run_expr("    li r4, 5\n    li r5, 9\n"
+                        "    sub r10, r4, r5") == \
+            (-4) & XLEN_MASK_64
+
+    def test_mul(self):
+        assert run_expr("    li r4, 100000\n    li r5, 100000\n"
+                        "    mul r10, r4, r5") == 10_000_000_000
+
+    def test_logic_ops(self):
+        assert run_expr("    li r4, 0xF0F0\n    li r5, 0x0FF0\n"
+                        "    and r10, r4, r5") == 0x0FF0 & 0xF0F0
+        assert run_expr("    li r4, 0xF000\n    li r5, 0x000F\n"
+                        "    or r10, r4, r5") == 0xF00F
+        assert run_expr("    li r4, 0xFF\n    li r5, 0x0F\n"
+                        "    xor r10, r4, r5") == 0xF0
+
+    def test_shifts(self):
+        assert run_expr("    li r4, 1\n    li r5, 40\n"
+                        "    sll r10, r4, r5") == 1 << 40
+        assert run_expr("    li r4, -1\n    li r5, 60\n"
+                        "    srl r10, r4, r5") == 0xF
+        assert run_expr("    li r4, -64\n    li r5, 3\n"
+                        "    sra r10, r4, r5") == (-8) & XLEN_MASK_64
+
+    def test_slt_signed_vs_unsigned(self):
+        assert run_expr("    li r4, -1\n    li r5, 1\n"
+                        "    slt r10, r4, r5") == 1
+        assert run_expr("    li r4, -1\n    li r5, 1\n"
+                        "    sltu r10, r4, r5") == 0
+
+    def test_division_c_semantics(self):
+        assert run_expr("    li r4, -7\n    li r5, 2\n"
+                        "    div r10, r4, r5") == (-3) & XLEN_MASK_64
+        assert run_expr("    li r4, -7\n    li r5, 2\n"
+                        "    rem r10, r4, r5") == (-1) & XLEN_MASK_64
+
+    def test_immediates(self):
+        assert run_expr("    li r4, 10\n    addi r10, r4, -3") == 7
+        assert run_expr("    li r4, 0xFF\n    andi r10, r4, 0x0F") == 0xF
+        assert run_expr("    li r4, 0\n    ori r10, r4, 0x8000") == 0x8000
+        assert run_expr("    li r4, 8\n    slli r10, r4, 4") == 128
+        assert run_expr("    li r4, -1\n    srai r10, r4, 12") == \
+            XLEN_MASK_64
+        assert run_expr("    li r4, -2\n    slti r10, r4, 0") == 1
+
+
+class TestWVariants:
+    def test_addw_wraps_at_32(self):
+        assert run_expr("    li r4, 0x7FFFFFFF\n    li r5, 1\n"
+                        "    addw r10, r4, r5") == \
+            0xFFFF_FFFF_8000_0000
+
+    def test_subw(self):
+        assert run_expr("    li r4, 0\n    li r5, 1\n"
+                        "    subw r10, r4, r5") == XLEN_MASK_64
+
+    def test_mulw(self):
+        assert run_expr("    li r4, 0x10000\n    li r5, 0x10000\n"
+                        "    mulw r10, r4, r5") == 0
+
+    def test_srlw_is_32bit_logical(self):
+        assert run_expr("    li r4, -1\n    li r5, 24\n"
+                        "    srlw r10, r4, r5") == 0xFF
+
+    def test_sraw_sign(self):
+        assert run_expr("    li r4, 0x80000000\n    li r5, 4\n"
+                        "    sraw r10, r4, r5") == \
+            0xFFFF_FFFF_F800_0000
+
+    def test_w_ops_equal_plain_on_mr32(self):
+        assert run_expr("    li r4, 0x7FFF\n    li r5, 3\n"
+                        "    addw r10, r4, r5", isa=MR32) \
+            == run_expr("    li r4, 0x7FFF\n    li r5, 3\n"
+                        "    add r10, r4, r5", isa=MR32)
+
+
+class TestControlFlow:
+    def test_taken_and_not_taken_branches(self):
+        body = """
+    li r4, 3
+    li r10, 0
+    beqz r4, skip
+    addi r10, r10, 1
+skip:
+    bnez r4, skip2
+    addi r10, r10, 100
+skip2:
+"""
+        assert run_expr(body) == 1
+
+    def test_call_ret(self):
+        body = """
+    li r10, 0
+    call fn
+    addi r10, r10, 1
+    b done
+fn:
+    addi r10, r10, 10
+    ret
+done:
+"""
+        assert run_expr(body) == 11
+
+    def test_jalr_indirect(self):
+        body = """
+    la  r4, target
+    jalr r5, r4
+target:
+    li r10, 77
+"""
+        assert run_expr(body) == 77
+
+    def test_loop_countdown(self):
+        body = """
+    li r4, 10
+    li r10, 0
+loop:
+    add r10, r10, r4
+    addi r4, r4, -1
+    bnez r4, loop
+"""
+        assert run_expr(body) == 55
+
+
+class TestMemoryOps:
+    def test_load_store_all_widths(self):
+        src = """
+.text
+_start:
+    la   r4, buf
+    li   r5, -2
+    sb   r5, 0(r4)
+    lb   r6, 0(r4)
+    lbu  r7, 0(r4)
+    sh   r5, 8(r4)
+    lh   r8, 8(r4)
+    lhu  r9, 8(r4)
+    sw   r5, 16(r4)
+    lw   r10, 16(r4)
+    la   r2, out
+    sw   r6, 0(r2)
+    sw   r7, 4(r2)
+    sw   r8, 8(r2)
+    sw   r9, 12(r2)
+    sw   r10, 16(r2)
+    li   r3, 20
+    li   r1, 1
+    syscall
+    li   r1, 0
+    li   r2, 0
+    syscall
+.data
+buf: .space 32
+out: .space 20
+"""
+        result = assemble_and_run(src)
+        vals = [int.from_bytes(result.output[i:i + 4], "little")
+                for i in range(0, 20, 4)]
+        assert vals[0] == 0xFFFF_FFFE       # lb sign-extends
+        assert vals[1] == 0xFE              # lbu zero-extends
+        assert vals[2] == 0xFFFF_FFFE       # lh sign-extends
+        assert vals[3] == 0xFFFE            # lhu zero-extends
+        assert vals[4] == 0xFFFF_FFFE       # lw (stored -2 word)
+
+    def test_unaligned_word_access_allowed(self):
+        src = """
+.text
+_start:
+    la   r4, buf
+    li   r5, 0x11223344
+    sw   r5, 1(r4)
+    lw   r10, 1(r4)
+    la   r2, out
+    sw   r10, 0(r2)
+    li   r3, 4
+    li   r1, 1
+    syscall
+    li   r1, 0
+    li   r2, 0
+    syscall
+.data
+buf: .space 16
+out: .space 4
+"""
+        result = assemble_and_run(src)
+        assert int.from_bytes(result.output, "little") == 0x11223344
+
+
+# ---------------------------------------------------------------------------
+# helper-function properties against Python's integers
+# ---------------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(value=st.integers(0, (1 << 64) - 1))
+def test_to_signed_roundtrip(value):
+    assert to_signed(value, 64) % (1 << 64) == value
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=st.integers(-(2**31), 2**31 - 1))
+def test_sext32_preserves_signed_value(value):
+    assert to_signed(sext32(value & 0xFFFF_FFFF, 64), 64) == value
+
+
+@settings(max_examples=300, deadline=None)
+@given(a=st.integers(-(2**31), 2**31 - 1),
+       b=st.integers(-(2**31), 2**31 - 1).filter(lambda x: x != 0))
+def test_sdiv_srem_c_identity(a, b):
+    assert _sdiv(a, b) * b + _srem(a, b) == a
+    assert abs(_srem(a, b)) < abs(b)

@@ -1,0 +1,138 @@
+"""Disassembler, program images and configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import layout
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import (
+    disassemble_range,
+    disassemble_word,
+)
+from repro.isa.encoding import encode
+from repro.isa.instructions import BY_MNEMONIC
+from repro.isa.registers import MR32, MR64, register_set
+from repro.uarch.config import (
+    ALL_CONFIGS,
+    CORTEX_A72,
+    STRUCTURES,
+    config_by_name,
+)
+
+R64 = register_set(MR64)
+
+
+class TestDisassembler:
+    def roundtrip(self, source_line: str) -> str:
+        program = assemble(f".text\n{source_line}", MR64)
+        word = int.from_bytes(program.text.data[:4], "little")
+        return disassemble_word(word, R64)
+
+    @pytest.mark.parametrize("line,expected", [
+        ("add r1, r2, r3", "add r1, r2, r3"),
+        ("addi r1, r2, -5", "addi r1, r2, -5"),
+        ("lw r4, 8(r2)", "lw r4, 8(r2)"),
+        ("sw r4, -8(r2)", "sw r4, -8(r2)"),
+        ("jr lr", "jr lr"),
+        ("syscall", "syscall"),
+        ("lui r3, 0x9000", "lui r3, 0x9000"),
+    ])
+    def test_roundtrip_text(self, line, expected):
+        assert self.roundtrip(line) == expected
+
+    def test_branch_target_with_pc(self):
+        program = assemble(".text\nx: nop\n beq r1, r2, x", MR64)
+        word = int.from_bytes(program.text.data[4:8], "little")
+        text = disassemble_word(word, R64, pc=program.text.base + 4)
+        assert hex(program.text.base) in text
+
+    def test_illegal_word_rendering(self):
+        assert ".illegal" in disassemble_word(0, R64)
+        assert "unassigned opcode" in disassemble_word(0xFFFF_FFFF, R64)
+
+    def test_disassemble_range_format(self):
+        program = assemble(".text\n nop\n nop\n ret", MR64)
+        listing = disassemble_range(bytes(program.text.data),
+                                    program.text.base, R64)
+        lines = listing.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith(f"{program.text.base:#010x}")
+
+
+class TestProgramImage:
+    def test_word_at_reads_pristine_code(self):
+        program = assemble(".text\n add r1, r2, r3", MR64)
+        expected = encode("add", BY_MNEMONIC["add"], rd=1, rs1=2, rs2=3)
+        assert program.word_at(program.text.base) == expected
+
+    def test_word_at_outside_image(self):
+        program = assemble(".text\n nop", MR64)
+        with pytest.raises(KeyError):
+            program.word_at(0x7777_0000)
+
+    def test_section_lookup(self):
+        program = assemble(".text\n nop\n.data\n .word 1", MR64)
+        assert program.text.base == layout.USER_CODE_BASE
+        assert program.data.base == layout.USER_DATA_BASE
+        with pytest.raises(KeyError):
+            program.section(".bss")
+
+    def test_instruction_count(self):
+        program = assemble(".text\n nop\n nop\n nop", MR64)
+        assert program.instruction_count() == 3
+
+
+class TestConfigs:
+    def test_lookup_by_name(self):
+        assert config_by_name("cortex-a72") is CORTEX_A72
+        with pytest.raises(KeyError):
+            config_by_name("pentium")
+
+    def test_structure_bits_all_defined(self):
+        for config in ALL_CONFIGS:
+            for structure in STRUCTURES:
+                assert config.structure_bits(structure) > 0
+            with pytest.raises(KeyError):
+                config.structure_bits("ROB")
+
+    def test_isa_split_matches_paper(self):
+        isas = {c.name: c.isa for c in ALL_CONFIGS}
+        assert isas["cortex-a9"] == isas["cortex-a15"] == MR32
+        assert isas["cortex-a57"] == isas["cortex-a72"] == MR64
+
+    def test_weights_sum_to_one(self):
+        for config in ALL_CONFIGS:
+            assert sum(config.structure_weights().values()) == \
+                pytest.approx(1.0)
+
+    def test_penalty_defaults_to_depth(self):
+        assert CORTEX_A72.penalty == CORTEX_A72.frontend_depth
+
+    def test_l2_capacities_preserve_table2_relations(self):
+        """Capacities are Table II's, scaled by CACHE_SCALE; the
+        relative relations (512K : 1M : 1M : 2M) must be exact."""
+        from repro.uarch.config import CACHE_SCALE
+
+        sizes = {c.name: c.l2.size for c in ALL_CONFIGS}
+        assert sizes["cortex-a9"] * 2 == sizes["cortex-a15"]
+        assert sizes["cortex-a15"] == sizes["cortex-a57"]
+        assert sizes["cortex-a57"] * 2 == sizes["cortex-a72"]
+        assert sizes["cortex-a72"] == 2048 * 1024 // CACHE_SCALE
+
+
+class TestLayout:
+    def test_kernel_boundary(self):
+        assert layout.is_kernel_addr(layout.KERNEL_CODE_BASE)
+        assert layout.is_kernel_addr(layout.OUTPUT_BASE)
+        assert not layout.is_kernel_addr(layout.USER_STACK_TOP)
+
+    def test_page_base(self):
+        assert layout.page_base(0x1234) == 0x1000
+
+    def test_regions_do_not_overlap(self):
+        from repro.uarch.memory import default_regions
+
+        regions = sorted(default_regions(), key=lambda r: r.base)
+        for first, second in zip(regions, regions[1:]):
+            assert first.end <= second.base, (first.name, second.name)

@@ -1,0 +1,277 @@
+"""Architectural exceptions, crash taxonomy and the mini-kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import layout
+from repro.isa.registers import MR32, MR64
+from repro.kernel.kernel_asm import kernel_program, kernel_source
+from repro.uarch.exceptions import FaultKind
+from tests.conftest import assemble_and_run
+
+EXIT = "    li r1, 0\n    li r2, 0\n    syscall"
+
+
+class TestCrashChannels:
+    def run_fail(self, body: str, isa: str = MR64):
+        result = assemble_and_run(f".text\n_start:\n{body}\n{EXIT}", isa)
+        assert result.status.value == "sim-exception"
+        return result
+
+    def test_null_pointer_load(self):
+        result = self.run_fail("    li r4, 0\n    lw r5, 0(r4)")
+        assert result.fault_kind is FaultKind.ACCESS_FAULT
+        assert not result.fault_in_kernel
+
+    def test_wild_store(self):
+        result = self.run_fail("    li r4, 0x40000000\n    sw r4, 0(r4)")
+        assert result.fault_kind is FaultKind.ACCESS_FAULT
+
+    def test_user_cannot_touch_kernel_memory(self):
+        result = self.run_fail(
+            f"    li r4, {layout.KERNEL_DATA_BASE}\n    lw r5, 0(r4)")
+        assert result.fault_kind is FaultKind.PRIVILEGE_FAULT
+
+    def test_user_cannot_jump_into_kernel(self):
+        result = self.run_fail(
+            f"    li r4, {layout.KERNEL_CODE_BASE}\n    jr r4")
+        assert result.fault_kind is FaultKind.PRIVILEGE_FAULT
+
+    def test_division_by_zero(self):
+        result = self.run_fail(
+            "    li r4, 7\n    li r5, 0\n    div r6, r4, r5")
+        assert result.fault_kind is FaultKind.DIVISION_BY_ZERO
+
+    def test_misaligned_pc(self):
+        result = self.run_fail("    la r4, _start\n    addi r4, r4, 2\n"
+                               "    jr r4")
+        assert result.fault_kind is FaultKind.MISALIGNED
+
+    def test_halt_is_privileged(self):
+        result = self.run_fail("    halt")
+        assert result.fault_kind is FaultKind.ILLEGAL_INSTRUCTION
+
+    def test_eret_is_privileged(self):
+        result = self.run_fail("    eret")
+        assert result.fault_kind is FaultKind.ILLEGAL_INSTRUCTION
+
+    def test_pc_escaping_code_crashes(self):
+        # jump far outside any mapped region
+        result = self.run_fail("    li r4, 0x7ff00000\n    jr r4")
+        assert result.fault_kind is FaultKind.FETCH_FAULT
+
+    def test_infinite_loop_times_out(self):
+        result = assemble_and_run(".text\n_start:\nx: j x",
+                                  max_instructions=5000)
+        assert result.status.value == "timeout"
+
+
+class TestKernelBehaviour:
+    def test_kernel_assembles_for_both_isas(self):
+        for isa in (MR32, MR64):
+            program = kernel_program(isa)
+            assert program.text.base == layout.KERNEL_CODE_BASE
+            assert program.instruction_count() > 50
+
+    def test_kernel_source_spills_full_frame(self):
+        source = kernel_source(MR64)
+        # every preserved register appears in a save and a restore
+        for index in range(2, 32):
+            assert f"sd r{index}," in source
+            assert f"ld r{index}," in source
+
+    def test_write_appends_and_returns_length(self):
+        src = """
+.text
+_start:
+    la r2, msg
+    li r3, 3
+    li r1, 1
+    syscall
+    la r2, out
+    sw r1, 0(r2)      # result of the first write
+    la r2, msg
+    li r3, 2
+    li r1, 1
+    syscall
+    la r2, out
+    li r3, 4
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+msg: .ascii "abc"
+out: .space 4
+"""
+        result = assemble_and_run(src)
+        assert result.output == b"abcab\x03\x00\x00\x00"
+
+    def test_negative_length_rejected(self):
+        src = """
+.text
+_start:
+    la r2, msg
+    li r3, -5
+    li r1, 1
+    syscall
+    la r4, out
+    sw r1, 0(r4)
+    mv r2, r4
+    li r3, 4
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+msg: .ascii "abc"
+out: .space 4
+"""
+        result = assemble_and_run(src)
+        # first write failed (returned -1 == 0xFFFFFFFF), nothing written
+        assert result.output == b"\xff\xff\xff\xff"
+
+    def test_unknown_syscall_returns_minus_one(self):
+        src = """
+.text
+_start:
+    li r1, 99
+    syscall
+    la r2, out
+    sw r1, 0(r2)
+    li r3, 4
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+out: .space 4
+"""
+        result = assemble_and_run(src)
+        assert result.output == b"\xff\xff\xff\xff"
+
+    def test_registers_preserved_across_syscall(self):
+        src = """
+.text
+_start:
+    li r4, 1111
+    li r5, 2222
+    li r9, 3333
+    la r2, msg
+    li r3, 1
+    li r1, 1
+    syscall
+    la r2, out
+    sw r4, 0(r2)
+    sw r5, 4(r2)
+    sw r9, 8(r2)
+    li r3, 12
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+msg: .byte 65
+out: .space 12
+"""
+        result = assemble_and_run(src)
+        vals = [int.from_bytes(result.output[i + 1:i + 5], "little")
+                for i in range(0, 12, 4)]
+        assert vals == [1111, 2222, 3333]
+
+    def test_word_copy_fast_path_alignment_mix(self):
+        """The kernel memcpy takes the word path for aligned buffers
+        and the byte path otherwise; both must be exact."""
+        src = """
+.text
+_start:
+    la r2, blob          # 4-aligned source, length 12 -> word path
+    li r3, 12
+    li r1, 1
+    syscall
+    la r2, blob
+    addi r2, r2, 1       # misaligned source -> byte path
+    li r3, 5
+    li r1, 1
+    syscall
+    la r2, blob          # aligned source, unaligned dst (17 so far)
+    li r3, 7
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+.align 4
+blob: .ascii "ABCDEFGHIJKL"
+"""
+        result = assemble_and_run(src)
+        assert result.output == b"ABCDEFGHIJKL" + b"BCDEF" + b"ABCDEFG"
+
+    def test_word_copy_with_tail(self):
+        """Aligned copy with a non-multiple-of-4 length: words + tail."""
+        src = """
+.text
+_start:
+    la r2, blob
+    li r3, 10
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+.align 4
+blob: .ascii "0123456789AB"
+"""
+        result = assemble_and_run(src)
+        assert result.output == b"0123456789"
+
+    def test_exit_code_recorded(self):
+        result = assemble_and_run(
+            ".text\n_start:\n    li r1, 0\n    li r2, 42\n    syscall")
+        assert result.exit_code == 42
+        assert result.status.value == "completed"
+
+    def test_kernel_pointer_fault_is_panic(self):
+        """A corrupted user buffer pointer crashes *inside* the kernel
+        copy loop -> kernel panic, not process crash."""
+        src = """
+.text
+_start:
+    li r2, 0x800       # unmapped user address (null page)
+    li r3, 8
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+"""
+        result = assemble_and_run(src)
+        assert result.status.value == "sim-exception"
+        assert result.fault_in_kernel
+
+    def test_host_kernel_matches_sim_kernel_output(self):
+        src = """
+.text
+_start:
+    la r2, msg
+    li r3, 5
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 7
+    syscall
+.data
+msg: .ascii "workd"
+"""
+        sim = assemble_and_run(src, kernel="sim")
+        host = assemble_and_run(src, kernel="host")
+        assert sim.output == host.output == b"workd"
+        assert sim.exit_code == host.exit_code == 7
+        assert host.instructions < sim.instructions  # kernel invisible

@@ -1,0 +1,198 @@
+"""Fault taxonomy, classification and statistical sampling."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.fault import FaultSpec, sample_campaign, sample_uniform
+from repro.faults.fpm import (
+    DESCRIPTIONS,
+    FPM,
+    SOFTWARE_VISIBLE_FPMS,
+    classify_instruction_corruption,
+)
+from repro.faults.outcomes import CrashKind, Outcome, Verdict, classify
+from repro.faults.sampling import (
+    margin_of_error,
+    samples_for_margin,
+    wilson_interval,
+)
+from repro.uarch.config import CORTEX_A72, STRUCTURES
+
+
+class TestOutcomeClassification:
+    GOLD = (b"out", 0)
+
+    def classify(self, status, output=b"out", exit_code=0, **kw):
+        return classify(status, output, exit_code, *self.GOLD, **kw)
+
+    def test_masked(self):
+        verdict = self.classify("completed")
+        assert verdict.outcome is Outcome.MASKED
+        assert not verdict.vulnerable
+
+    def test_sdc_on_output_mismatch(self):
+        verdict = self.classify("completed", output=b"oops")
+        assert verdict.outcome is Outcome.SDC
+        assert verdict.vulnerable
+
+    def test_sdc_on_exit_code_mismatch(self):
+        verdict = self.classify("completed", exit_code=1)
+        assert verdict.outcome is Outcome.SDC
+
+    def test_timeout_is_hang_crash(self):
+        verdict = self.classify("timeout")
+        assert verdict.outcome is Outcome.CRASH
+        assert verdict.crash_kind is CrashKind.HANG
+
+    def test_user_exception_is_process_crash(self):
+        verdict = self.classify("sim-exception", fault_in_kernel=False)
+        assert verdict.crash_kind is CrashKind.PROCESS
+
+    def test_kernel_exception_is_panic(self):
+        verdict = self.classify("sim-exception", fault_in_kernel=True)
+        assert verdict.crash_kind is CrashKind.PANIC
+
+    def test_detected_excluded_from_vulnerability(self):
+        verdict = self.classify("detected", output=b"whatever")
+        assert verdict.outcome is Outcome.DETECTED
+        assert not verdict.vulnerable
+
+    def test_verdict_invariant(self):
+        with pytest.raises(ValueError):
+            Verdict(Outcome.CRASH)           # crash needs a kind
+        with pytest.raises(ValueError):
+            Verdict(Outcome.SDC, CrashKind.HANG)
+
+
+class TestFPM:
+    def test_opcode_flip_is_wi(self):
+        pristine = 0x04210800          # some add encoding
+        corrupted = pristine ^ (1 << 27)
+        assert classify_instruction_corruption(pristine, corrupted) \
+            is FPM.WI
+
+    def test_operand_flip_is_woi(self):
+        pristine = 0x04210800
+        for bit in (0, 11, 18, 25):
+            assert classify_instruction_corruption(
+                pristine, pristine ^ (1 << bit)) is FPM.WOI
+
+    def test_mixed_flip_classified_wi(self):
+        pristine = 0x04210800
+        corrupted = pristine ^ (1 << 27) ^ (1 << 3)
+        assert classify_instruction_corruption(pristine, corrupted) \
+            is FPM.WI
+
+    def test_identical_words_rejected(self):
+        with pytest.raises(ValueError):
+            classify_instruction_corruption(5, 5)
+
+    def test_esc_not_software_visible(self):
+        assert FPM.ESC not in SOFTWARE_VISIBLE_FPMS
+        assert set(SOFTWARE_VISIBLE_FPMS) == {FPM.WD, FPM.WI, FPM.WOI}
+
+    def test_descriptions_cover_table1(self):
+        assert set(DESCRIPTIONS) == set(FPM)
+
+
+class TestFaultSpecs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("ROB", 1.0, 0, 0)
+        with pytest.raises(ValueError):
+            FaultSpec("RF", -1.0, 0, 0)
+
+    @pytest.mark.parametrize("structure", STRUCTURES)
+    def test_uniform_sampling_in_range(self, structure):
+        rng = random.Random(7)
+        for _ in range(200):
+            spec = sample_uniform(CORTEX_A72, structure, 1000.0, rng)
+            assert 0 <= spec.cycle <= 1000.0
+            if structure == "RF":
+                assert 0 <= spec.a < CORTEX_A72.n_phys_regs
+                assert 0 <= spec.b < 64
+            elif structure == "LSQ":
+                assert 0 <= spec.a < CORTEX_A72.lsq_size
+                assert 0 <= spec.b < 32 + 64
+            else:
+                cache = {"L1I": CORTEX_A72.l1i, "L1D": CORTEX_A72.l1d,
+                         "L2": CORTEX_A72.l2}[structure]
+                assert 0 <= spec.b < cache.assoc
+                assert 0 <= spec.c < cache.line_size * 8
+
+    def test_campaign_sampling_deterministic(self):
+        a = sample_campaign(CORTEX_A72, "RF", 500.0, 20, seed=3)
+        b = sample_campaign(CORTEX_A72, "RF", 500.0, 20, seed=3)
+        c = sample_campaign(CORTEX_A72, "RF", 500.0, 20, seed=4)
+        assert a == b
+        assert a != c
+
+
+class TestSamplingStatistics:
+    def test_paper_quoted_margin(self):
+        """2,000 samples -> 2.88% at 99% confidence (paper §III.C)."""
+        margin = margin_of_error(2000, confidence=0.99)
+        assert margin == pytest.approx(0.0288, abs=0.0002)
+
+    def test_margin_shrinks_with_n(self):
+        margins = [margin_of_error(n) for n in (100, 400, 1600, 6400)]
+        assert margins == sorted(margins, reverse=True)
+        # each 4x sample increase halves the margin
+        assert margins[0] / margins[1] == pytest.approx(2.0, rel=0.01)
+
+    def test_finite_population_correction(self):
+        infinite = margin_of_error(500)
+        finite = margin_of_error(500, population=1000)
+        assert finite < infinite
+
+    def test_samples_for_margin_inverts(self):
+        n = samples_for_margin(0.0288, confidence=0.99)
+        assert abs(n - 2000) <= 5
+
+    def test_wilson_interval_contains_estimate(self):
+        low, high = wilson_interval(20, 200)
+        assert low < 0.1 < high
+        assert 0.0 <= low and high <= 1.0
+
+    def test_wilson_interval_zero_successes(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0 and high > 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            margin_of_error(0)
+        with pytest.raises(ValueError):
+            margin_of_error(10, confidence=0.42)
+        with pytest.raises(ValueError):
+            samples_for_margin(1.5)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            margin_of_error(200, population=100)
+
+
+@settings(max_examples=150, deadline=None)
+@given(n=st.integers(2, 100_000),
+       p=st.floats(0.01, 0.99),
+       confidence=st.sampled_from([0.90, 0.95, 0.99]))
+def test_margin_bounded_by_worst_case(n, p, confidence):
+    worst = margin_of_error(n, p=0.5, confidence=confidence)
+    actual = margin_of_error(n, p=p, confidence=confidence)
+    assert actual <= worst + 1e-12
+    assert 0 < actual < 1 or n == 2
+
+
+@settings(max_examples=150, deadline=None)
+@given(successes=st.integers(0, 500), extra=st.integers(0, 500))
+def test_wilson_interval_ordered_and_bounded(successes, extra):
+    n = successes + extra
+    if n == 0:
+        return
+    low, high = wilson_interval(successes, n)
+    assert 0.0 <= low <= successes / n <= high <= 1.0

@@ -1,0 +1,174 @@
+"""Functional engine details: fault actions, counters, profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.registers import MR64
+from repro.kernel.loader import build_system_image
+from repro.uarch.functional import (
+    FaultAction,
+    FunctionalEngine,
+    run_functional,
+)
+from repro.workloads.common import (
+    data_bytes,
+    data_words,
+    emit_exit,
+    emit_write,
+    random_bytes,
+    rotl32,
+    u32,
+    xorshift32_stream,
+)
+
+COUNTING = """
+.text
+_start:
+    li   r4, 5
+    li   r5, 0
+    la   r6, out
+loop:
+    addi r5, r5, 1          # dest instr
+    sw   r5, 0(r6)          # no dest
+    addi r4, r4, -1         # dest instr
+    bnez r4, loop           # no dest
+    la   r2, out
+    li   r3, 4
+    li   r1, 1
+    syscall
+    li   r1, 0
+    li   r2, 0
+    syscall
+.data
+out: .space 4
+"""
+
+
+def build_engine(source, **kwargs):
+    program = assemble(source, MR64, name="t")
+    return FunctionalEngine(build_system_image(program), **kwargs)
+
+
+class TestFaultActions:
+    def test_commit_action_fires_before_instruction(self):
+        """Flipping a register at commit index k affects instruction k."""
+        source = """
+.text
+_start:
+    li   r4, 1
+    la   r2, out
+    sw   r4, 0(r2)
+    li   r3, 4
+    li   r1, 1
+    syscall
+    li   r1, 0
+    li   r2, 0
+    syscall
+.data
+out: .space 4
+"""
+        # flip r4's bit 1 just before the store commits -> output = 3
+        engine = build_engine(source)
+
+        def apply(e):
+            e.regs[4] ^= 2
+
+        engine.schedule(FaultAction("commit", 3, apply))
+        result = engine.run()
+        assert int.from_bytes(result.output, "little") == 3
+
+    def test_user_dest_counter_skips_kernel(self):
+        """user_dest indexes only user-mode register writers, so a
+        fault scheduled past the user count never fires even though
+        kernel instructions keep executing."""
+        program = assemble(COUNTING, MR64)
+        # golden dest count
+        golden = run_functional(program, kernel="sim",
+                                collect_profile=True)
+        fired = []
+        engine = FunctionalEngine(build_system_image(program))
+        engine.schedule(FaultAction(
+            "user_dest", golden.profile.dest_instructions + 10,
+            lambda e: fired.append(True)))
+        engine.run()
+        assert not fired
+
+    def test_last_dest_tracks_destination(self):
+        source = """
+.text
+_start:
+    li   r9, 3
+    li   r1, 0
+    li   r2, 0
+    syscall
+"""
+        engine = build_engine(source)
+        seen = []
+        engine.schedule(FaultAction("user_dest", 0,
+                                    lambda e: seen.append(e.last_dest)))
+        engine.run()
+        assert seen == [9]
+
+
+class TestProfiles:
+    def test_profile_counts_consistent(self):
+        program = assemble(COUNTING, MR64)
+        result = run_functional(program, kernel="sim",
+                                collect_profile=True)
+        profile = result.profile
+        assert profile.user_instructions + profile.kernel_instructions \
+            == result.instructions
+        assert 0 < profile.dest_instructions < profile.user_instructions
+        assert profile.store_instructions >= 5
+        assert 0 not in profile.regs_used
+
+    def test_footprint_contains_touched_data(self):
+        program = assemble(COUNTING, MR64)
+        result = run_functional(program, kernel="sim",
+                                collect_profile=True)
+        from repro.isa import layout
+
+        assert any(layout.USER_DATA_BASE <= a < layout.USER_DATA_BASE
+                   + 0x100 for a in result.profile.mem_footprint)
+
+    def test_invalid_kernel_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_engine(COUNTING, kernel="weird")
+
+
+class TestWorkloadHelpers:
+    def test_xorshift_deterministic_and_nonzero(self):
+        a = xorshift32_stream(42, 16)
+        assert a == xorshift32_stream(42, 16)
+        assert all(0 < v <= 0xFFFF_FFFF for v in a)
+        assert len(set(a)) == 16
+
+    def test_xorshift_zero_seed_survives(self):
+        assert xorshift32_stream(0, 4) == xorshift32_stream(1, 4)
+
+    def test_random_bytes(self):
+        blob = random_bytes(7, 100)
+        assert len(blob) == 100 and len(set(blob)) > 20
+
+    def test_rotl32(self):
+        assert rotl32(1, 1) == 2
+        assert rotl32(0x8000_0000, 1) == 1
+        assert rotl32(0x12345678, 32 - 4) == u32(0x12345678 >> 4
+                                                 | 0x8 << 28)
+
+    def test_data_words_masks_negatives(self):
+        text = data_words("t", [-1, 5])
+        assert "0xffffffff" in text and "0x5" in text
+
+    def test_data_bytes_chunks(self):
+        text = data_bytes("blob", bytes(range(40)), per_line=16)
+        assert text.count(".byte") == 3
+
+    def test_emit_write_register_length(self):
+        text = emit_write("buf", "r9")
+        assert "mv   r3, r9" in text
+
+    def test_emit_exit_code(self):
+        assert "li   r2, 3" in emit_exit(3)

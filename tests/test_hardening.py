@@ -1,0 +1,158 @@
+"""The software fault-tolerance transform (duplication + AN-encoding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardening import (
+    A,
+    HardeningError,
+    harden_source,
+    harden_with_stats,
+)
+from repro.injectors.campaign import run_campaign
+from repro.isa.assembler import assemble
+from repro.isa.registers import MR32, MR64
+from repro.uarch.config import CORTEX_A72
+from repro.uarch.functional import FaultAction, FunctionalEngine, run_functional
+from repro.kernel.loader import build_system_image
+from repro.workloads.suite import WORKLOAD_NAMES, load_workload, workload_spec
+
+SIMPLE = """
+.text
+_start:
+    li   r4, 5
+    li   r5, 7
+    add  r6, r4, r5
+    la   r2, out
+    sw   r6, 0(r2)
+    li   r3, 4
+    li   r1, 1
+    syscall
+    li   r1, 0
+    li   r2, 0
+    syscall
+.data
+out: .space 4
+"""
+
+
+class TestTransformBasics:
+    def test_rejects_mrisc32(self):
+        with pytest.raises(HardeningError):
+            harden_source(SIMPLE, MR32)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(HardeningError):
+            harden_source(SIMPLE, MR64, mode="triple")
+
+    def test_output_unchanged(self):
+        for mode in ("full", "dup"):
+            program = assemble(harden_source(SIMPLE, MR64, mode=mode),
+                               MR64)
+            result = run_functional(program)
+            assert result.status.value == "completed"
+            assert int.from_bytes(result.output, "little") == 12
+
+    def test_detect_stub_emitted(self):
+        hardened = harden_source(SIMPLE, MR64)
+        assert "__ft_detect:" in hardened
+        assert "detect" in hardened
+
+    def test_shadow_registers_used(self):
+        hardened = harden_source(SIMPLE, MR64)
+        assert "r20" in hardened           # shadow of r4
+        assert "r22" in hardened           # shadow of r6
+
+    def test_an_encoding_constant_in_li(self):
+        hardened = harden_source(SIMPLE, MR64, mode="full")
+        assert f"li   r20, {5 * A}" in hardened
+
+    def test_stats_populated(self):
+        _, stats = harden_with_stats(SIMPLE, MR64)
+        assert stats.original_instructions > 5
+        assert stats.emitted_instructions > stats.original_instructions
+        assert stats.checks >= 3           # sw + syscall args
+        assert 1.5 < stats.static_overhead < 7.0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestWholeSuiteHardened:
+    def test_output_identical_and_slowdown_in_paper_range(self, name):
+        reference = workload_spec(name).reference_output()
+        hardened = load_workload(name, MR64, hardened=True)
+        baseline = load_workload(name, MR64)
+        hard_run = run_functional(hardened, kernel="sim")
+        base_run = run_functional(baseline, kernel="sim")
+        assert hard_run.status.value == "completed"
+        assert hard_run.output == reference
+        slowdown = hard_run.instructions / base_run.instructions
+        assert 1.8 < slowdown < 4.5, f"{name}: {slowdown:.2f}x"
+
+
+class TestDetectionBehaviour:
+    def _run_with_flip(self, program, when, bit=0):
+        """Flip a bit in the destination of the *when*-th user
+        register-writing instruction of a hardened binary."""
+        image = build_system_image(program)
+        engine = FunctionalEngine(image, kernel="sim",
+                                  max_instructions=500_000)
+
+        def apply(eng):
+            if eng.last_dest:
+                eng.regs[eng.last_dest] ^= 1 << bit
+
+        engine.schedule(FaultAction("user_dest", when, apply))
+        return engine.run()
+
+    def test_detects_many_destination_flips(self):
+        program = load_workload("crc32", MR64, hardened=True)
+        detected = vulnerable = 0
+        for when in range(60, 1500, 120):
+            result = self._run_with_flip(program, when, bit=3)
+            if result.status.value == "detected":
+                detected += 1
+            elif result.output != \
+                    workload_spec("crc32").reference_output():
+                vulnerable += 1
+        assert detected >= 2
+        assert detected >= vulnerable
+
+    def test_svf_vulnerability_drops_with_hardening(self):
+        base = run_campaign("sha", CORTEX_A72, injector="svf", n=50,
+                            seed=21)
+        hard = run_campaign("sha", CORTEX_A72, injector="svf", n=50,
+                            seed=21, hardened=True)
+        assert hard.vulnerability() < base.vulnerability() / 2
+        assert hard.detected() > 0
+
+    def test_pvf_vulnerability_drops_with_hardening(self):
+        base = run_campaign("smooth", CORTEX_A72, injector="pvf", n=50,
+                            seed=21)
+        hard = run_campaign("smooth", CORTEX_A72, injector="pvf", n=50,
+                            seed=21, hardened=True)
+        assert hard.vulnerability() < base.vulnerability()
+
+    def test_hardened_runtime_overhead_in_pipeline(self):
+        from repro.injectors.golden import golden_run
+
+        base = golden_run("sha", "cortex-a72")
+        hard = golden_run("sha", "cortex-a72", hardened=True)
+        slowdown = hard.cycles / base.cycles
+        assert 1.8 < slowdown < 4.5     # the paper reports 2x-4x
+
+
+class TestDupVsFullMode:
+    def test_dup_mode_cheaper_than_full(self):
+        source = workload_spec("crc32").source
+        _, full_stats = harden_with_stats(source, MR64, mode="full")
+        _, dup_stats = harden_with_stats(source, MR64, mode="dup")
+        assert dup_stats.emitted_instructions < \
+            full_stats.emitted_instructions
+
+    def test_dup_mode_output_unchanged(self):
+        source = harden_source(workload_spec("crc32").source, MR64,
+                               mode="dup")
+        program = assemble(source, MR64)
+        result = run_functional(program)
+        assert result.output == workload_spec("crc32").reference_output()

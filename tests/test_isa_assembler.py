@@ -1,0 +1,240 @@
+"""Assembler: directives, labels, pseudo-instructions, expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import layout
+from repro.isa.assembler import _eval_expr, assemble
+from repro.isa.disassembler import disassemble_word
+from repro.isa.errors import AssemblerError
+from repro.isa.registers import MR32, MR64, register_set
+
+R64 = register_set(MR64)
+
+
+def asm64(src):
+    return assemble(src, MR64, name="t")
+
+
+def words(program):
+    text = program.text.data
+    return [int.from_bytes(text[i:i + 4], "little")
+            for i in range(0, len(text), 4)]
+
+
+def dis(program):
+    return [disassemble_word(w, program.regs) for w in words(program)]
+
+
+# ---------------------------------------------------------------------------
+# sections, labels, data directives
+# ---------------------------------------------------------------------------
+class TestSectionsAndData:
+    def test_entry_defaults_to_text_base(self):
+        program = asm64(".text\n nop\n")
+        assert program.entry == layout.USER_CODE_BASE
+
+    def test_start_label_sets_entry(self):
+        program = asm64(".text\n nop\n_start:\n nop\n")
+        assert program.entry == layout.USER_CODE_BASE + 4
+
+    def test_word_directive_little_endian(self):
+        program = asm64(".data\nv: .word 0x11223344\n.text\n nop")
+        assert program.data.data[:4] == bytes.fromhex("44332211")
+
+    def test_multiple_words_and_widths(self):
+        program = asm64(
+            ".data\n .byte 1, 2\n .half 0x0304\n .word 5\n .dword 6\n"
+            ".text\n nop")
+        data = program.data.data
+        assert data[0] == 1 and data[1] == 2
+        assert int.from_bytes(data[2:4], "little") == 0x0304
+        assert int.from_bytes(data[4:8], "little") == 5
+        assert int.from_bytes(data[8:16], "little") == 6
+
+    def test_word_can_reference_label(self):
+        program = asm64(".data\nptr: .word target\ntarget: .word 7\n"
+                        ".text\n nop")
+        assert int.from_bytes(program.data.data[:4], "little") == \
+            program.symbols["target"]
+
+    def test_ascii_and_asciiz(self):
+        program = asm64('.data\na: .ascii "hi"\nb: .asciiz "yo"\n'
+                        ".text\n nop")
+        assert program.data.data[:2] == b"hi"
+        assert program.data.data[2:5] == b"yo\0"
+
+    def test_space_and_align(self):
+        program = asm64(".data\n .byte 1\n .align 8\nv: .space 3\n"
+                        ".text\n nop")
+        assert program.symbols["v"] == layout.USER_DATA_BASE + 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm64(".text\nx:\n nop\nx:\n nop")
+
+    def test_label_with_instruction_on_same_line(self):
+        program = asm64(".text\nfoo: nop\n j foo")
+        assert program.symbols["foo"] == layout.USER_CODE_BASE
+
+    def test_equ_constant(self):
+        program = asm64(".equ N, 40\n.text\n li r1, N+2")
+        assert "addi r1, zero, 42" in dis(program)[0]
+
+
+# ---------------------------------------------------------------------------
+# pseudo-instructions
+# ---------------------------------------------------------------------------
+class TestPseudos:
+    def test_nop(self):
+        assert dis(asm64(".text\n nop"))[0] == "addi zero, zero, 0"
+
+    def test_mv(self):
+        assert dis(asm64(".text\n mv r2, r3"))[0] == "addi r2, r3, 0"
+
+    def test_not_and_neg(self):
+        out = dis(asm64(".text\n not r1, r2\n neg r3, r4"))
+        assert out[0] == "xori r1, r2, -1"
+        assert out[1] == "sub r3, zero, r4"
+
+    def test_li_small(self):
+        assert dis(asm64(".text\n li r1, -5"))[0] == "addi r1, zero, -5"
+
+    def test_li_32bit_two_instructions(self):
+        out = dis(asm64(".text\n li r1, 0x12345678"))
+        assert out[0].startswith("lui r1")
+        assert out[1].startswith("ori r1, r1")
+
+    def test_li_64bit_six_instructions(self):
+        program = asm64(".text\n li r1, 0x123456789ABCDEF0")
+        assert len(words(program)) == 6
+
+    def test_li_too_big_for_mrisc32(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n li r1, 0x123456789", MR32)
+
+    def test_la_always_two_instructions(self):
+        program = asm64(".text\n la r1, buf\n.data\nbuf: .word 0")
+        assert len(words(program)) == 2
+
+    def test_ret_uses_link_register(self):
+        assert dis(asm64(".text\n ret"))[0] == "jr lr"
+        program32 = assemble(".text\n ret", MR32)
+        assert disassemble_word(words(program32)[0],
+                                program32.regs) == "jr lr"
+
+    def test_branch_pseudo_swaps(self):
+        out = dis(asm64(".text\nx: bgt r1, r2, x\n ble r3, r4, x\n"
+                        " bgtu r5, r6, x\n bleu r7, r8, x"))
+        assert out[0].startswith("blt r2, r1")
+        assert out[1].startswith("bge r4, r3")
+        assert out[2].startswith("bltu r6, r5")
+        assert out[3].startswith("bgeu r8, r7")
+
+    def test_beqz_bnez(self):
+        out = dis(asm64(".text\nx: beqz r1, x\n bnez r2, x"))
+        assert out[0].startswith("beq r1, zero")
+        assert out[1].startswith("bne r2, zero")
+
+    def test_snez(self):
+        assert dis(asm64(".text\n snez r1, r2"))[0] == \
+            "sltu r1, zero, r2"
+
+
+# ---------------------------------------------------------------------------
+# W-op lowering across ISAs
+# ---------------------------------------------------------------------------
+class TestWOpLowering:
+    def test_addw_kept_on_mr64(self):
+        assert dis(asm64(".text\n addw r1, r2, r3"))[0] == \
+            "addw r1, r2, r3"
+
+    def test_addw_lowered_on_mr32(self):
+        program = assemble(".text\n addw r1, r2, r3", MR32)
+        assert disassemble_word(words(program)[0], program.regs) == \
+            "add r1, r2, r3"
+
+    def test_ld_rejected_on_mr32(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n ld r1, 0(r2)", MR32)
+
+
+# ---------------------------------------------------------------------------
+# operands and errors
+# ---------------------------------------------------------------------------
+class TestOperandsAndErrors:
+    def test_memory_operand_with_expression_offset(self):
+        out = dis(asm64(".equ OFF, 8\n.text\n lw r1, OFF+4(r2)"))
+        assert out[0] == "lw r1, 12(r2)"
+
+    def test_store_operand_order(self):
+        assert dis(asm64(".text\n sw r9, -4(r2)"))[0] == \
+            "sw r9, -4(r2)"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            asm64(".text\n frobnicate r1, r2")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblerError):
+            asm64(".text\n add r1, r2")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            asm64(".text\n j nowhere")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            asm64(".text\n add r1, r2, r99")
+
+    def test_instruction_in_data_section(self):
+        with pytest.raises(AssemblerError):
+            asm64(".data\n add r1, r2, r3")
+
+    def test_comments_stripped(self):
+        program = asm64(
+            ".text\n nop  # hash comment\n nop ; semi\n nop // slashes")
+        assert len(words(program)) == 3
+
+    def test_error_carries_line_number(self):
+        try:
+            asm64(".text\n nop\n bad r1")
+        except AssemblerError as exc:
+            assert exc.line_no == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected AssemblerError")
+
+
+# ---------------------------------------------------------------------------
+# expression evaluator
+# ---------------------------------------------------------------------------
+class TestExpressions:
+    def eval(self, expr, **symbols):
+        return _eval_expr(expr, symbols, symbols)
+
+    def test_arithmetic(self):
+        assert self.eval("2+3*4") == 14
+        assert self.eval("(2+3)*4") == 20
+        assert self.eval("-5+1") == -4
+
+    def test_shifts_and_masks(self):
+        assert self.eval("1<<16") == 0x1_0000
+        assert self.eval("0xFF00>>8") == 0xFF
+        assert self.eval("0xF0|0x0F") == 0xFF
+        assert self.eval("0xFF&0x0F") == 0x0F
+
+    def test_char_literal(self):
+        assert self.eval("'A'") == 65
+        assert self.eval("'\\n'") == 10
+
+    def test_symbols(self):
+        assert self.eval("base+8", base=0x1000) == 0x1008
+
+    def test_undefined_symbol(self):
+        with pytest.raises(ValueError):
+            self.eval("mystery")
+
+    def test_trailing_junk(self):
+        with pytest.raises(ValueError):
+            self.eval("1 2")

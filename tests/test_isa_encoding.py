@@ -1,0 +1,205 @@
+"""Encoding/decoding: round trips, strictness, bit-field taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import (
+    OPCODE_BITS,
+    bit_flip_kind,
+    decode,
+    encode,
+)
+from repro.isa.errors import DecodeError, EncodingError
+from repro.isa.instructions import BY_MNEMONIC, BY_OPCODE
+from repro.isa.registers import MR32, MR64, register_set
+
+R64 = register_set(MR64)
+R32 = register_set(MR32)
+
+
+def enc(mnemonic, **kwargs):
+    return encode(mnemonic, BY_MNEMONIC[mnemonic], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# basic round trips
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_r_type(self):
+        word = enc("add", rd=3, rs1=4, rs2=5)
+        instr = decode(word, R64)
+        assert (instr.op, instr.rd, instr.rs1, instr.rs2) == \
+            ("add", 3, 4, 5)
+
+    def test_i_type_negative_imm(self):
+        word = enc("addi", rd=1, rs1=2, imm=-7)
+        instr = decode(word, R64)
+        assert instr.imm == -7
+
+    def test_i_type_positive_unsigned_imm(self):
+        # ori accepts the 0x8000..0xFFFF range (zero-extended use)
+        word = enc("ori", rd=1, rs1=1, imm=0xFFFF)
+        instr = decode(word, R64)
+        assert instr.imm & 0xFFFF == 0xFFFF
+
+    def test_load(self):
+        word = enc("lw", rd=7, rs1=2, imm=-12)
+        instr = decode(word, R64)
+        assert (instr.op, instr.rd, instr.rs1, instr.imm) == \
+            ("lw", 7, 2, -12)
+
+    def test_store_fields(self):
+        word = enc("sw", rs1=2, rs2=9, imm=8)
+        instr = decode(word, R64)
+        assert (instr.rs1, instr.rs2, instr.imm) == (2, 9, 8)
+
+    def test_branch_offset_in_bytes(self):
+        word = enc("beq", rs1=1, rs2=2, imm=-64)
+        instr = decode(word, R64)
+        assert instr.imm == -64
+
+    def test_jump_offset(self):
+        word = enc("jal", imm=4096)
+        assert decode(word, R64).imm == 4096
+
+    def test_register_jumps(self):
+        assert decode(enc("jr", rs1=30), R64).rs1 == 30
+        instr = decode(enc("jalr", rd=5, rs1=6), R64)
+        assert (instr.rd, instr.rs1) == (5, 6)
+
+    def test_system_ops(self):
+        for mnemonic in ("syscall", "eret", "halt", "detect"):
+            assert decode(enc(mnemonic), R64).op == mnemonic
+
+    def test_lui(self):
+        instr = decode(enc("lui", rd=4, imm=0x9000), R64)
+        assert instr.imm & 0xFFFF == 0x9000
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    mnemonic=st.sampled_from(
+        [m for m, d in BY_MNEMONIC.items() if d.fmt == "R"]),
+    rd=st.integers(0, 31), rs1=st.integers(0, 31), rs2=st.integers(0, 31),
+)
+def test_r_type_roundtrip_property(mnemonic, rd, rs1, rs2):
+    word = enc(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    instr = decode(word, R64)
+    assert (instr.op, instr.rd, instr.rs1, instr.rs2) == \
+        (mnemonic, rd, rs1, rs2)
+
+
+@settings(max_examples=300, deadline=None)
+@given(imm=st.integers(-0x8000, 0x7FFF), rd=st.integers(0, 31),
+       rs1=st.integers(0, 31))
+def test_i_type_imm_roundtrip_property(imm, rd, rs1):
+    instr = decode(enc("addi", rd=rd, rs1=rs1, imm=imm), R64)
+    assert (instr.rd, instr.rs1, instr.imm) == (rd, rs1, imm)
+
+
+@settings(max_examples=200, deadline=None)
+@given(offset_words=st.integers(-0x8000, 0x7FFF))
+def test_branch_offset_roundtrip_property(offset_words):
+    word = enc("bne", rs1=1, rs2=2, imm=offset_words * 4)
+    assert decode(word, R64).imm == offset_words * 4
+
+
+# ---------------------------------------------------------------------------
+# strictness: bit flips must be able to produce illegal encodings
+# ---------------------------------------------------------------------------
+class TestStrictDecoding:
+    def test_all_zero_word_is_illegal(self):
+        with pytest.raises(DecodeError):
+            decode(0, R64)
+
+    def test_unassigned_opcode(self):
+        with pytest.raises(DecodeError):
+            decode(0x3F << 26, R64)
+
+    def test_nonzero_func_field_rejected(self):
+        word = enc("add", rd=1, rs1=2, rs2=3) | 0x1
+        with pytest.raises(DecodeError):
+            decode(word, R64)
+
+    def test_nonzero_sys_operand_bits_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(enc("syscall") | 0x40, R64)
+
+    def test_lui_rs1_must_be_zero(self):
+        word = enc("lui", rd=1, imm=5) | (3 << 16)
+        with pytest.raises(DecodeError):
+            decode(word, R64)
+
+    def test_high_register_invalid_on_mrisc32(self):
+        word = enc("add", rd=17, rs1=1, rs2=2)
+        decode(word, R64)  # fine on 64
+        with pytest.raises(DecodeError):
+            decode(word, R32)
+
+    def test_mr64_only_opcode_illegal_on_mrisc32(self):
+        word = enc("ld", rd=1, rs1=2, imm=0)
+        with pytest.raises(DecodeError):
+            decode(word, R32)
+
+    def test_register_jump_low_bits_must_be_zero(self):
+        with pytest.raises(DecodeError):
+            decode(enc("jr", rs1=3) | 0x5, R64)
+
+
+# ---------------------------------------------------------------------------
+# encoding errors
+# ---------------------------------------------------------------------------
+class TestEncodingErrors:
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            enc("addi", rd=1, rs1=1, imm=0x12345)
+
+    def test_misaligned_branch_offset(self):
+        with pytest.raises(EncodingError):
+            enc("beq", rs1=1, rs2=2, imm=6)
+
+    def test_misaligned_jump_offset(self):
+        with pytest.raises(EncodingError):
+            enc("j", imm=10)
+
+    def test_jump_offset_range(self):
+        with pytest.raises(EncodingError):
+            enc("j", imm=4 * 0x200_0000)
+
+
+# ---------------------------------------------------------------------------
+# FPM bit taxonomy
+# ---------------------------------------------------------------------------
+class TestBitFlipKind:
+    def test_opcode_bits(self):
+        for bit in OPCODE_BITS:
+            assert bit_flip_kind(bit) == "opcode"
+
+    def test_operand_bits(self):
+        for bit in range(26):
+            assert bit_flip_kind(bit) == "operand"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_flip_kind(32)
+
+
+def test_opcode_table_is_dense_and_consistent():
+    assert len(BY_OPCODE) == len(BY_MNEMONIC)
+    for mnemonic, d in BY_MNEMONIC.items():
+        assert BY_OPCODE[d.opcode].mnemonic == mnemonic
+
+
+@settings(max_examples=500, deadline=None)
+@given(word=st.integers(0, 0xFFFF_FFFF))
+def test_decode_never_crashes_unexpectedly(word):
+    """Any 32-bit word either decodes or raises DecodeError — nothing
+    else (fault injection relies on this totality)."""
+    try:
+        instr = decode(word, R64)
+        assert instr.raw == word
+    except DecodeError:
+        pass

@@ -1,0 +1,64 @@
+"""LSQ fault compensation semantics (the retroactive replay paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.fault import FaultSpec
+from repro.faults.outcomes import Outcome
+from repro.injectors.gefin import run_one_injection
+from repro.injectors.golden import golden_run
+from repro.uarch.config import CORTEX_A72
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return golden_run("qsort", "cortex-a72")
+
+
+class TestLsqFaultChannels:
+    def _sweep(self, golden, bits, cycles_fracs, n_expect=None):
+        results = []
+        for frac in cycles_fracs:
+            for bit in bits:
+                for entry in range(0, CORTEX_A72.lsq_size, 5):
+                    spec = FaultSpec("LSQ", golden.cycles * frac,
+                                     a=entry, b=bit, prefer_live=True)
+                    results.append(run_one_injection(
+                        "qsort", CORTEX_A72, spec, golden))
+        return results
+
+    def test_address_field_faults_can_crash(self, golden):
+        """High address-bit flips on in-flight ops send accesses into
+        unmapped space -> access faults (a crash channel PVF/SVF's WD
+        model does not have)."""
+        results = self._sweep(golden, bits=(28, 30, 31),
+                              cycles_fracs=(0.2, 0.5, 0.8))
+        crashes = [r for r in results
+                   if r.outcome == Outcome.CRASH.value]
+        assert crashes, "wild LSQ addresses must be able to crash"
+
+    def test_low_data_bit_faults_mostly_wd(self, golden):
+        """Data-field flips manifest as Wrong Data when visible."""
+        results = self._sweep(golden, bits=(32, 40, 48),
+                              cycles_fracs=(0.3, 0.6))
+        visible = [r for r in results if r.fpm is not None]
+        assert visible
+        assert all(r.fpm in ("WD", "ESC") for r in visible)
+
+    def test_dead_entries_masked(self, golden):
+        """Entries whose op already committed are dead state."""
+        spec = FaultSpec("LSQ", golden.cycles * 0.5, a=0, b=10,
+                         prefer_live=False)
+        result = run_one_injection("qsort", CORTEX_A72, spec, golden)
+        # either it hit a live in-flight entry or it was masked dead;
+        # both classify cleanly
+        if not result.fault_live:
+            assert result.outcome == Outcome.MASKED.value
+
+    def test_faults_deterministic(self, golden):
+        spec = FaultSpec("LSQ", golden.cycles * 0.4, a=3, b=50,
+                         prefer_live=True)
+        first = run_one_injection("qsort", CORTEX_A72, spec, golden)
+        second = run_one_injection("qsort", CORTEX_A72, spec, golden)
+        assert first == second

@@ -1,0 +1,104 @@
+"""Sparse memory model and privilege checking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import layout
+from repro.uarch.exceptions import FaultKind, SimException
+from repro.uarch.memory import Memory, Region
+
+
+class TestSparseStorage:
+    def test_untouched_memory_reads_zero(self):
+        memory = Memory()
+        assert memory.read(layout.USER_DATA_BASE, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self):
+        memory = Memory()
+        memory.write(layout.USER_DATA_BASE + 5, b"abcdef")
+        assert memory.read(layout.USER_DATA_BASE + 5, 6) == b"abcdef"
+
+    def test_write_across_page_boundary(self):
+        memory = Memory()
+        addr = layout.USER_DATA_BASE + layout.PAGE_SIZE - 3
+        memory.write(addr, b"123456")
+        assert memory.read(addr, 6) == b"123456"
+
+    def test_scalar_accessors_signed(self):
+        memory = Memory()
+        memory.write_int(layout.USER_DATA_BASE, -2, 4)
+        assert memory.read_int(layout.USER_DATA_BASE, 4) == 0xFFFF_FFFE
+        assert memory.read_int(layout.USER_DATA_BASE, 4, signed=True) == -2
+
+    def test_addresses_masked_to_32_bits(self):
+        memory = Memory()
+        high = 0xFFFF_FFFF_0000_0000 | layout.USER_DATA_BASE
+        memory.write(high, b"x")
+        assert memory.read(layout.USER_DATA_BASE, 1) == b"x"
+
+
+class TestRegionsAndPrivilege:
+    def test_null_page_unmapped(self):
+        memory = Memory()
+        with pytest.raises(SimException) as err:
+            memory.check_access(0x10, 4, write=False, kernel_mode=False)
+        assert err.value.kind is FaultKind.ACCESS_FAULT
+
+    def test_user_regions_accessible(self):
+        memory = Memory()
+        for addr in (layout.USER_CODE_BASE, layout.USER_DATA_BASE,
+                     layout.USER_STACK_TOP - 8):
+            memory.check_access(addr, 4, write=True, kernel_mode=False)
+
+    def test_kernel_region_blocked_for_user(self):
+        memory = Memory()
+        with pytest.raises(SimException) as err:
+            memory.check_access(layout.KERNEL_DATA_BASE, 4, write=False,
+                                kernel_mode=False)
+        assert err.value.kind is FaultKind.PRIVILEGE_FAULT
+
+    def test_kernel_can_access_everything(self):
+        memory = Memory()
+        memory.check_access(layout.KERNEL_DATA_BASE, 4, write=True,
+                            kernel_mode=True)
+        memory.check_access(layout.OUTPUT_BASE, 4, write=True,
+                            kernel_mode=True)
+        memory.check_access(layout.USER_DATA_BASE, 4, write=True,
+                            kernel_mode=True)
+
+    def test_access_straddling_region_end_rejected(self):
+        memory = Memory()
+        end = layout.USER_STACK_END
+        with pytest.raises(SimException):
+            memory.check_access(end - 2, 4, write=False,
+                                kernel_mode=False)
+
+    def test_region_of(self):
+        memory = Memory()
+        region = memory.region_of(layout.OUTPUT_BASE)
+        assert region is not None and region.name == "output"
+        assert memory.region_of(0x5000_0000) is None
+
+    def test_custom_readonly_region(self):
+        memory = Memory(regions=[Region("rom", 0, 4096, writable=False)])
+        memory.check_access(0, 4, write=False, kernel_mode=False)
+        with pytest.raises(SimException):
+            memory.check_access(0, 4, write=True, kernel_mode=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(chunks=st.lists(
+    st.tuples(st.integers(0, 12000), st.binary(min_size=1, max_size=64)),
+    min_size=1, max_size=24))
+def test_memory_equals_flat_bytearray(chunks):
+    memory = Memory(regions=[Region("all", 0, 1 << 20)])
+    flat = bytearray(1 << 16)
+    for addr, blob in chunks:
+        memory.write(addr, blob)
+        flat[addr:addr + len(blob)] = blob
+    for addr, blob in chunks:
+        assert memory.read(addr, len(blob) + 8) == \
+            bytes(flat[addr:addr + len(blob) + 8])

@@ -1,0 +1,45 @@
+"""Packaging and public-API surface checks."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", [
+        "repro.isa", "repro.uarch", "repro.kernel", "repro.faults",
+        "repro.injectors", "repro.workloads", "repro.hardening",
+        "repro.core", "repro.cli",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_console_script_target(self):
+        from repro.cli import main
+
+        assert callable(main)
+
+    def test_top_level_quickstart_names(self):
+        # the names the README's quickstart uses
+        assert callable(repro.run_campaign)
+        assert repro.CORTEX_A72.name == "cortex-a72"
+        assert "sha" in repro.WORKLOADS
+
+    def test_docstrings_on_public_modules(self):
+        for module in ("repro", "repro.isa", "repro.uarch",
+                       "repro.core", "repro.injectors",
+                       "repro.hardening", "repro.workloads"):
+            assert importlib.import_module(module).__doc__, module

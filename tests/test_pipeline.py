@@ -1,0 +1,133 @@
+"""Pipeline engine: architectural equivalence, timing plausibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.registers import MR32, MR64
+from repro.uarch.config import ALL_CONFIGS, CORTEX_A9, CORTEX_A72
+from repro.uarch.functional import run_functional
+from repro.uarch.pipeline import run_pipeline
+from repro.workloads.suite import load_workload
+
+FAST_WORKLOADS = ("crc32", "sha", "qsort")
+
+
+class TestArchitecturalEquivalence:
+    """The pipeline must compute exactly what the functional core does."""
+
+    @pytest.mark.parametrize("workload", FAST_WORKLOADS)
+    @pytest.mark.parametrize("config", ALL_CONFIGS,
+                             ids=lambda c: c.name)
+    def test_outputs_match_functional(self, workload, config):
+        program = load_workload(workload, config.isa)
+        functional = run_functional(program, kernel="sim")
+        pipeline = run_pipeline(program, config)
+        assert pipeline.status.value == "completed"
+        assert pipeline.output == functional.output
+        assert pipeline.exit_code == functional.exit_code
+        assert pipeline.instructions == functional.instructions
+
+    def test_crash_matches_functional(self):
+        src = ".text\n_start:\n    li r4, 0\n    lw r5, 0(r4)\n"
+        program = assemble(src, MR64)
+        functional = run_functional(program)
+        pipeline = run_pipeline(program, CORTEX_A72)
+        assert pipeline.status.value == functional.status.value \
+            == "sim-exception"
+        assert pipeline.fault_kind is functional.fault_kind
+
+
+class TestTimingModel:
+    def test_cycles_grow_with_work(self):
+        program = load_workload("crc32", MR64)
+        small = run_pipeline(program, CORTEX_A72)
+        program_big = load_workload("sha", MR64)
+        big = run_pipeline(program_big, CORTEX_A72)
+        assert big.cycles > small.cycles
+
+    def test_ipc_in_plausible_range(self):
+        for config in ALL_CONFIGS:
+            program = load_workload("sha", config.isa)
+            result = run_pipeline(program, config)
+            ipc = result.instructions / result.cycles
+            assert 0.05 < ipc <= config.commit_width, \
+                f"{config.name}: IPC {ipc}"
+
+    def test_configs_yield_different_cycle_counts(self):
+        cycles = set()
+        for config in ALL_CONFIGS:
+            program = load_workload("qsort", config.isa)
+            cycles.add(round(run_pipeline(program, config).cycles))
+        assert len(cycles) == len(ALL_CONFIGS)
+
+    def test_watchdog_cycle_limit(self):
+        program = assemble(".text\n_start:\nx: j x", MR64)
+        result = run_pipeline(program, CORTEX_A72, max_cycles=5000)
+        assert result.status.value == "timeout"
+
+    def test_watchdog_instruction_limit(self):
+        program = assemble(".text\n_start:\nx: j x", MR64)
+        result = run_pipeline(program, CORTEX_A72,
+                              max_instructions=1000)
+        assert result.status.value == "timeout"
+
+    def test_commit_monotonic_cycle_positive(self):
+        program = load_workload("crc32", MR32)
+        result = run_pipeline(program, CORTEX_A9)
+        assert result.cycles > result.instructions * 0.3
+
+
+class TestStatsCollection:
+    def test_occupancy_sampled(self):
+        program = load_workload("sha", MR64)
+        result = run_pipeline(program, CORTEX_A72, collect_stats=True)
+        occ = result.occupancy
+        assert set(occ) == {"RF", "LSQ", "L1I", "L1D", "L2"}
+        assert 0.0 < occ["RF"] <= 1.0
+        # tiny workloads cannot fill a 2 MiB L2
+        assert occ["L2"] < 0.05
+        # the architectural registers alone keep RF occupancy above
+        # n_arch / n_phys at all times
+        assert occ["RF"] >= 32 / 192 - 0.01
+
+    def test_cache_stats_present(self):
+        program = load_workload("crc32", MR64)
+        result = run_pipeline(program, CORTEX_A72, collect_stats=True)
+        assert result.stats["l1i"]["hits"] > 0
+        assert result.stats["l1d"]["misses"] > 0
+        assert result.stats["branch"]["lookups"] > 0
+
+    def test_kernel_instruction_attribution(self):
+        program = load_workload("sha", MR64)
+        result = run_pipeline(program, CORTEX_A72)
+        assert 0 < result.kernel_instructions < result.instructions
+
+    def test_isa_config_mismatch_rejected(self):
+        program = load_workload("sha", MR32)
+        with pytest.raises(ValueError):
+            run_pipeline(program, CORTEX_A72)
+
+
+class TestDmaDrain:
+    def test_coherent_read_sees_dirty_cache_data(self):
+        """Output written through the cache is visible to the DMA drain
+        even before any writeback — the coherence the ESC channel
+        relies on."""
+        src = """
+.text
+_start:
+    la r2, msg
+    li r3, 4
+    li r1, 1
+    syscall
+    li r1, 0
+    li r2, 0
+    syscall
+.data
+msg: .ascii "data"
+"""
+        program = assemble(src, MR64)
+        result = run_pipeline(program, CORTEX_A72)
+        assert result.output == b"data"

@@ -1,0 +1,149 @@
+"""Focused timing-model behaviours of the pipeline engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.registers import MR64
+from repro.uarch.config import CORTEX_A72, CacheConfig, MicroarchConfig
+from repro.uarch.pipeline import run_pipeline
+
+EXIT = "    li r1, 0\n    li r2, 0\n    syscall\n"
+
+
+def cycles_of(body: str, config=CORTEX_A72) -> float:
+    program = assemble(f".text\n_start:\n{body}\n{EXIT}", config.isa)
+    result = run_pipeline(program, config)
+    assert result.status.value == "completed"
+    return result.cycles
+
+
+def loop(body: str, n: int = 200) -> str:
+    return f"""
+    li   r9, {n}
+tl_loop:
+{body}
+    addi r9, r9, -1
+    bnez r9, tl_loop
+"""
+
+
+class TestDependencyChains:
+    def test_serial_chain_slower_than_parallel(self):
+        # multiply latency (3 cycles) makes the dependence cost crisp:
+        # a serial chain pays 4x3 cycles per iteration, independent
+        # muls pipeline through the unit
+        serial = loop("""
+    mul  r4, r4, r5
+    mul  r4, r4, r5
+    mul  r4, r4, r5
+    mul  r4, r4, r5
+""")
+        parallel = loop("""
+    mul  r4, r4, r5
+    mul  r6, r6, r5
+    mul  r7, r7, r5
+    mul  r8, r8, r5
+""")
+        assert cycles_of(serial) > cycles_of(parallel) * 1.5
+
+    def test_division_latency_visible(self):
+        divides = loop("    li r4, 100\n    li r5, 3\n"
+                       "    div r6, r4, r5", n=100)
+        adds = loop("    li r4, 100\n    li r5, 3\n"
+                    "    add r6, r4, r5", n=100)
+        assert cycles_of(divides) > cycles_of(adds) * 1.5
+
+
+class TestBranchPrediction:
+    def test_predictable_loop_faster_than_alternating(self):
+        predictable = loop("    add r4, r4, r5", n=400)
+        alternating = loop("""
+    andi r6, r9, 1
+    beqz r6, tb_skip
+    addi r4, r4, 1
+tb_skip:
+""", n=400)
+        # per-iteration cost must be higher with the data-dependent
+        # alternating branch
+        cost_predictable = cycles_of(predictable) / 400
+        cost_alternating = cycles_of(alternating) / 400
+        assert cost_alternating > cost_predictable + 1.0
+
+    def test_deeper_frontend_pays_more_per_mispredict(self):
+        shallow = MicroarchConfig(
+            name="cortex-a72", isa=MR64, fetch_width=3, commit_width=3,
+            frontend_depth=5, rob_size=128, iq_size=64,
+            n_phys_regs=192, lsq_size=32, n_alu=2)
+        body = loop("""
+    andi r6, r9, 1
+    beqz r6, td_skip
+    addi r4, r4, 1
+td_skip:
+""", n=300)
+        assert cycles_of(body, CORTEX_A72) > cycles_of(body, shallow)
+
+
+class TestMemoryLatency:
+    def test_cache_misses_cost_cycles(self):
+        # stride through 32 KiB (every line misses in a cold cache and
+        # half of a 32 KiB L1D thereafter) vs hammering one line
+        strided = """
+    la   r4, buf
+    li   r5, 400
+tm_loop:
+    lw   r6, 0(r4)
+    addi r4, r4, 64
+    addi r5, r5, -1
+    bnez r5, tm_loop
+"""
+        hot = """
+    la   r4, buf
+    li   r5, 400
+tm_loop:
+    lw   r6, 0(r4)
+    addi r5, r5, -1
+    bnez r5, tm_loop
+"""
+        data = "\n.data\nbuf: .space 32768\n"
+        program_strided = assemble(
+            f".text\n_start:\n{strided}\n{EXIT}{data}", MR64)
+        program_hot = assemble(
+            f".text\n_start:\n{hot}\n{EXIT}{data}", MR64)
+        strided_cycles = run_pipeline(program_strided, CORTEX_A72).cycles
+        hot_cycles = run_pipeline(program_hot, CORTEX_A72).cycles
+        assert strided_cycles > hot_cycles * 1.3
+
+    def test_rob_limits_inflight_window(self):
+        tiny_rob = MicroarchConfig(
+            name="cortex-a72", isa=MR64, fetch_width=3, commit_width=3,
+            frontend_depth=15, rob_size=4, iq_size=64,
+            n_phys_regs=192, lsq_size=32, n_alu=2,
+            l2=CacheConfig(2048 * 1024, 16, latency=14))
+        body = loop("""
+    add  r4, r4, r5
+    add  r6, r6, r5
+    add  r7, r7, r5
+""", n=200)
+        assert cycles_of(body, tiny_rob) > cycles_of(body) * 1.2
+
+
+class TestSerialisation:
+    def test_syscalls_flush_the_frontend(self):
+        with_syscalls = """
+    li   r9, 30
+ts_loop:
+    la   r2, buf
+    li   r3, 1
+    li   r1, 1
+    syscall
+    addi r9, r9, -1
+    bnez r9, ts_loop
+"""
+        data = "\n.data\nbuf: .byte 7\n"
+        program = assemble(
+            f".text\n_start:\n{with_syscalls}\n{EXIT}{data}", MR64)
+        result = run_pipeline(program, CORTEX_A72)
+        # each syscall+eret pays at least two frontend flushes
+        assert result.cycles > 30 * 2 * CORTEX_A72.penalty

@@ -1,0 +1,204 @@
+"""Physical register file, LSQ and branch predictor unit tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.branch import BranchPredictor
+from repro.uarch.lsq import LoadStoreQueue
+from repro.uarch.regfile import FREE, LIVE, PhysRegFile
+
+
+class TestPhysRegFile:
+    def make(self, n_phys=40, n_arch=16, xlen=32):
+        return PhysRegFile(n_phys, n_arch, xlen)
+
+    def test_initial_identity_mapping(self):
+        rf = self.make()
+        for arch in range(16):
+            value, phys = rf.read(arch)
+            assert phys == arch and value == 0
+
+    def test_allocate_renames_and_preserves_old_value(self):
+        rf = self.make()
+        rf.write(rf.rename_map[3], 77)
+        phys, _ = rf.allocate(3, now=10.0, writer_commit=20.0)
+        rf.write(phys, 88)
+        value, new_phys = rf.read(3)
+        assert value == 88 and new_phys == phys
+        # the old physical register still holds 77 until reclamation
+        assert rf.values[3] == 77
+        assert rf.state[3] == LIVE
+
+    def test_old_mapping_reclaimed_after_commit(self):
+        rf = self.make()
+        rf.allocate(3, now=0.0, writer_commit=5.0)
+        rf._reclaim(6.0)
+        assert rf.state[3] == FREE
+        assert 3 in rf.free_list
+
+    def test_allocation_stalls_when_out_of_registers(self):
+        rf = self.make(n_phys=18, n_arch=16)
+        rf.allocate(1, now=0.0, writer_commit=100.0)   # frees p1 @100
+        rf.allocate(2, now=0.0, writer_commit=200.0)   # frees p2 @200
+        # free list exhausted; next allocation must wait for cycle 100
+        _, stall = rf.allocate(3, now=0.0, writer_commit=300.0)
+        assert stall == 100.0
+
+    def test_flip_dead_register_masked(self):
+        rf = self.make()
+        dead = rf.free_list[0]
+        assert rf.flip_bit(dead, 0) == {"live": False}
+
+    def test_flip_live_register_corrupts_and_taints(self):
+        rf = self.make()
+        rf.write(2, 0b100)
+        info = rf.flip_bit(2, 0)
+        assert info["live"]
+        assert rf.values[2] == 0b101
+        assert 2 in rf.tainted
+
+    def test_write_clears_taint(self):
+        rf = self.make()
+        rf.flip_bit(2, 0)
+        rf.write(2, 42)
+        assert 2 not in rf.tainted
+
+    def test_reallocation_clears_taint(self):
+        rf = self.make()
+        rf.allocate(1, now=0.0, writer_commit=1.0)
+        rf._reclaim(2.0)                 # p1 back on the free list
+        rf.flip_bit(1, 0)                # flip the *free* register
+        assert 1 not in rf.tainted or rf.state[1] == FREE
+        # allocate until p1 comes back around
+        for arch in range(2, 16):
+            phys, _ = rf.allocate(arch, now=3.0, writer_commit=4.0)
+            if phys == 1:
+                break
+        assert 1 not in rf.tainted
+
+    def test_occupancy_tracks_live_count(self):
+        # 15 live at boot: the zero register's slot is dead state
+        rf = self.make(n_phys=32, n_arch=16)
+        assert rf.occupancy() == pytest.approx(15 / 32)
+        rf.allocate(1, now=0.0, writer_commit=10.0)
+        assert rf.occupancy() == pytest.approx(16 / 32)
+
+    def test_zero_register_slot_is_dead(self):
+        rf = self.make()
+        assert rf.flip_bit(0, 5) == {"live": False}
+        value, phys = rf.read(0)
+        assert value == 0 and phys == 0
+
+    def test_too_few_physical_registers_rejected(self):
+        with pytest.raises(ValueError):
+            PhysRegFile(10, 16, 32)
+
+    def test_flip_bounds_checked(self):
+        rf = self.make()
+        with pytest.raises(ValueError):
+            rf.flip_bit(99, 0)
+        with pytest.raises(ValueError):
+            rf.flip_bit(0, 64)
+
+
+class TestLSQ:
+    def test_allocate_and_reclaim(self):
+        lsq = LoadStoreQueue(4, 64)
+        entry, stall = lsq.allocate(now=0.0)
+        entry.commit_cycle = 10.0
+        assert stall == 0.0 and lsq.valid_count == 1
+        lsq.reclaim(11.0)
+        assert lsq.valid_count == 0
+
+    def test_full_queue_stalls_until_oldest_commit(self):
+        lsq = LoadStoreQueue(2, 64)
+        e1, _ = lsq.allocate(0.0)
+        e1.commit_cycle = 50.0
+        e2, _ = lsq.allocate(0.0)
+        e2.commit_cycle = 80.0
+        _, stall = lsq.allocate(1.0)
+        assert stall == 50.0
+
+    def test_flip_target_field_split(self):
+        lsq = LoadStoreQueue(4, 64)
+        entry, field, bit = lsq.flip_target(1, 10)
+        assert field == "addr" and bit == 10
+        entry, field, bit = lsq.flip_target(1, 32 + 5)
+        assert field == "data" and bit == 5
+
+    def test_bit_capacity(self):
+        lsq = LoadStoreQueue(16, 64)
+        assert lsq.bits == 16 * (32 + 64)
+        assert LoadStoreQueue(8, 32).bits == 8 * 64
+
+    def test_occupancy(self):
+        lsq = LoadStoreQueue(4, 32)
+        entry, _ = lsq.allocate(0.0)
+        entry.commit_cycle = 99.0
+        assert lsq.occupancy() == 0.25
+
+
+class TestBranchPredictor:
+    def test_learns_always_taken_branch(self):
+        bp = BranchPredictor(64, 16)
+        pc, target = 0x1000, 0x2000
+        mispredicts = sum(bp.update(pc, True, target)
+                          for _ in range(10))
+        taken, predicted = bp.predict(pc)
+        assert taken and predicted == target
+        assert mispredicts <= 3  # warmup only
+
+    def test_learns_never_taken_branch(self):
+        bp = BranchPredictor(64, 16)
+        for _ in range(5):
+            bp.update(0x1000, False, 0x2000)
+        taken, _ = bp.predict(0x1000)
+        assert not taken
+
+    def test_alternating_branch_mispredicts_often(self):
+        bp = BranchPredictor(64, 16)
+        mispredicts = sum(bp.update(0x1000, i % 2 == 0, 0x3000)
+                          for i in range(40))
+        assert mispredicts >= 15
+
+    def test_btb_miss_counts_as_mispredict_when_taken(self):
+        bp = BranchPredictor(64, 16)
+        bp.update(0x1000, True, 0x2000)
+        bp.update(0x1000, True, 0x2000)
+        # same counter index trained taken, but new pc -> BTB miss
+        conflicting = 0x1000 + 4 * 64   # same counter entry, same BTB? no:
+        assert bp.update(conflicting, True, 0x4000)
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            BranchPredictor(100, 16)
+
+    def test_stats(self):
+        bp = BranchPredictor(64, 16)
+        bp.update(0, True, 8)
+        stats = bp.stats()
+        assert stats["lookups"] == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(writes=st.lists(st.tuples(st.integers(1, 15),
+                                 st.integers(0, 2**32 - 1)),
+                       min_size=1, max_size=60))
+def test_regfile_rename_preserves_latest_value_per_arch_reg(writes):
+    """After any rename sequence, reading an architectural register
+    returns the latest value written to it (the fundamental rename
+    invariant)."""
+    rf = PhysRegFile(40, 16, 32)
+    latest = {}
+    now = 0.0
+    for arch, value in writes:
+        now += 1.0
+        phys, _ = rf.allocate(arch, now=now, writer_commit=now + 2.0)
+        rf.write(phys, value)
+        latest[arch] = value & 0xFFFF_FFFF
+    for arch, expect in latest.items():
+        value, _ = rf.read(arch)
+        assert value == expect

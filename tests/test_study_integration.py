@@ -1,0 +1,121 @@
+"""End-to-end integration: CrossLayerStudy and the case study.
+
+These use tiny campaign sizes — they verify the orchestration plumbing
+and the qualitative invariants the paper's figures rely on, not the
+statistics (the benchmark harness owns precision).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.casestudy import LayerPair, run_case_study
+from repro.core.study import CrossLayerStudy, StudyScale
+
+TINY = StudyScale(n_avf=8, n_pvf=30, n_svf=30, seed=41)
+WORKLOADS = ("sha", "qsort", "crc32")
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CrossLayerStudy(WORKLOADS, "cortex-a72", TINY)
+
+
+class TestCrossLayerStudy:
+    def test_avf_campaigns_cover_structures(self, study):
+        campaigns = study.avf_campaigns("sha")
+        assert set(campaigns) == {"RF", "LSQ", "L1I", "L1D", "L2"}
+        for campaign in campaigns.values():
+            assert len(campaign.results) == TINY.n_avf
+
+    def test_totals_for_every_method(self, study):
+        for method in ("avf", "pvf", "svf", "rpvf"):
+            totals = study.totals(method)
+            assert set(totals) == set(WORKLOADS)
+            assert all(0.0 <= v <= 1.0 for v in totals.values())
+
+    def test_avf_orders_of_magnitude_below_svf(self, study):
+        avf = study.totals("avf")
+        svf = study.totals("svf")
+        for workload in WORKLOADS:
+            if svf[workload] > 0:
+                assert avf[workload] < svf[workload]
+
+    def test_effects_classified(self, study):
+        for method in ("avf", "pvf", "svf"):
+            effects = study.effects(method)
+            assert set(effects.values()) <= {"sdc", "crash"}
+
+    def test_compare_produces_table3_row(self, study):
+        row = study.compare("pvf", "avf")
+        assert row.pairs_considered == 3
+        assert 0 <= row.opposite_total <= 3
+
+    def test_unknown_method_rejected(self, study):
+        with pytest.raises(ValueError):
+            study.totals("dreams")
+
+    def test_weighted_fpm_includes_esc_channel(self, study):
+        rates = study.weighted_fpm("sha")
+        assert set(rates) == {"WD", "WI", "WOI", "ESC"}
+        assert all(v >= 0 for v in rates.values())
+
+    def test_rpvf_weights_exclude_esc(self, study):
+        refined = study.rpvf("sha")
+        assert set(refined.fpm_weights) == {"WD", "WI", "WOI"}
+
+    def test_sdc_crash_split_consistent(self, study):
+        for method in ("avf", "pvf", "svf"):
+            sdc, crash = study.sdc_crash_split(method, "qsort")
+            total = study.totals(method)["qsort"]
+            assert sdc + crash == pytest.approx(total, abs=1e-9)
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        scale = StudyScale.from_env()
+        assert scale.n_avf == 60
+        monkeypatch.setenv("REPRO_SCALE", "1")
+        assert StudyScale.from_env().n_avf == 30
+
+
+class TestLayerPair:
+    def test_reduction_and_change(self):
+        pair = LayerPair(unprotected=0.4, protected=0.1)
+        assert pair.reduction == pytest.approx(4.0)
+        assert pair.change == pytest.approx(-0.75)
+
+    def test_degradation(self):
+        pair = LayerPair(unprotected=0.01, protected=0.013)
+        assert pair.change == pytest.approx(0.3)
+
+    def test_zero_protected(self):
+        assert LayerPair(0.5, 0.0).reduction == float("inf")
+        assert LayerPair(0.0, 0.0).reduction == 1.0
+
+
+class TestCaseStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_case_study("sha", "cortex-a72",
+                              StudyScale(n_avf=10, n_pvf=40, n_svf=40,
+                                         seed=17))
+
+    def test_layers_measured(self, result):
+        assert result.workload == "sha"
+        assert set(result.per_structure) == \
+            {"RF", "LSQ", "L1I", "L1D", "L2"}
+
+    def test_slowdown_in_paper_range(self, result):
+        assert 1.8 < result.slowdown < 4.5
+
+    def test_higher_layers_report_improvement(self, result):
+        """The paper's §VI.B: PVF and SVF celebrate the hardened code."""
+        assert result.svf.reduction > 1.5
+        assert result.pvf.reduction > 1.0
+
+    def test_detection_visible_at_higher_layers(self, result):
+        assert result.detected_svf > 0.1
+
+    def test_headline_renders(self, result):
+        text = result.headline()
+        assert "sha" in text and "AVF" in text

@@ -1,0 +1,169 @@
+"""Workload suite: reference equivalence, portability, structure."""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+
+import pytest
+
+from repro.isa.registers import MR32, MR64
+from repro.uarch.functional import run_functional
+from repro.workloads import crc32 as crc_mod
+from repro.workloads import sha as sha_mod
+from repro.workloads import rijndael as aes_mod
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    all_specs,
+    load_workload,
+    workload_spec,
+)
+
+
+class TestSuiteStructure:
+    def test_ten_workloads(self):
+        assert len(WORKLOAD_NAMES) == 10
+
+    def test_paper_names_present(self):
+        for name in ("sha", "qsort", "fft", "rijndael", "corner",
+                     "smooth", "cjpeg", "djpeg"):
+            assert name in WORKLOAD_NAMES
+
+    def test_specs_complete(self):
+        for name, spec in all_specs().items():
+            assert spec.name == name
+            assert spec.description
+            assert spec.approx_instructions > 0
+            assert len(spec.reference_output()) > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            workload_spec("doom")
+        with pytest.raises(KeyError):
+            load_workload("doom", MR64)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("isa", (MR32, MR64))
+class TestReferenceEquivalence:
+    def test_simulated_output_matches_reference(self, name, isa):
+        result = run_functional(load_workload(name, isa), kernel="sim")
+        assert result.status.value == "completed"
+        assert result.output == workload_spec(name).reference_output()
+        assert result.exit_code == 0
+
+    def test_host_kernel_view_agrees(self, name, isa):
+        result = run_functional(load_workload(name, isa), kernel="host")
+        assert result.output == workload_spec(name).reference_output()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestDynamicBudget:
+    def test_instruction_count_near_estimate(self, name):
+        spec = workload_spec(name)
+        result = run_functional(load_workload(name, MR64), kernel="sim")
+        assert spec.approx_instructions / 4 <= result.instructions \
+            <= spec.approx_instructions * 4
+
+    def test_portable_register_budget(self, name):
+        """Workloads must avoid r13-r15 so the hardening transform can
+        use them as scratch (and mRISC-32 stays in range)."""
+        source = workload_spec(name).source
+        for token in ("r13", "r14", "r15", "r16"):
+            for line in source.splitlines():
+                code = line.split("#")[0]
+                assert f" {token}," not in code \
+                    and f", {token}" not in code \
+                    and f"({token})" not in code, \
+                    f"{name}: uses reserved register {token}: {line}"
+
+
+class TestAgainstIndependentImplementations:
+    """Cross-check our Python references against stdlib algorithms."""
+
+    def test_crc32_matches_zlib(self):
+        expected = zlib.crc32(crc_mod._input_data()) & 0xFFFF_FFFF
+        got = int.from_bytes(crc_mod.reference()[:4], "little")
+        assert got == expected
+
+    def test_sha1_final_state_matches_hashlib(self):
+        digest = hashlib.sha1(
+            sha_mod.random_bytes(sha_mod._SEED, sha_mod._MSG_LEN)).digest()
+        # our output is little-endian h-words per block; the final
+        # block's 20 bytes are the digest with each word byte-swapped
+        final = sha_mod.reference()[-20:]
+        words = struct.unpack("<5I", final)
+        assert struct.pack(">5I", *words) == digest
+
+    def test_aes_sbox_known_values(self):
+        sbox = aes_mod._sbox()
+        assert sbox[0x00] == 0x63
+        assert sbox[0x01] == 0x7C
+        assert sbox[0x53] == 0xED
+        assert sbox[0xFF] == 0x16
+
+    def test_aes_fips197_vector(self):
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        round_keys = aes_mod._expand_key(key)
+        ciphertext = aes_mod._encrypt_block(plaintext, round_keys)
+        assert ciphertext == bytes.fromhex(
+            "69c4e0d86a7b0430d8cdb78070b4c55a")
+
+    def test_qsort_reference_is_sorted(self):
+        from repro.workloads import qsort as qsort_mod
+
+        out = qsort_mod.reference()
+        values = list(struct.iter_unpack("<I", out))
+        assert values == sorted(values)
+
+    def test_stringsearch_reference_offsets(self):
+        from repro.workloads import stringsearch as ss
+
+        out = ss.reference()
+        offsets = struct.unpack(f"<{len(out) // 4}i", out)
+        for pattern, offset in zip(ss._PATTERNS, offsets):
+            if offset >= 0:
+                assert ss._TEXT[offset:offset + len(pattern)] == pattern
+            else:
+                assert pattern not in ss._TEXT
+        # the suite must exercise both found and not-found paths
+        assert any(o >= 0 for o in offsets)
+        assert any(o < 0 for o in offsets)
+
+    def test_fft_parseval_sanity(self):
+        """With per-stage >>1 scaling the FFT returns X/N; Parseval
+        then bounds output energy by input energy."""
+        from repro.workloads import fft as fft_mod
+
+        out = fft_mod.reference()
+        bins = struct.unpack(f"<{len(out) // 4}i", out)
+        signal = fft_mod._input_signal()
+        energy_out = sum(v * v for v in bins)
+        energy_in = sum(v * v for v in signal)
+        assert 0 < energy_out <= energy_in
+
+    def test_jpeg_roundtrip_plausible(self):
+        """djpeg(cjpeg(image)) must stay near the original image."""
+        from repro.workloads import djpeg as djpeg_mod
+        from repro.workloads.jpeg_common import image_blocks
+
+        decoded = djpeg_mod.reference()
+        original = bytes(b for block in image_blocks() for b in block)
+        assert len(decoded) == len(original)
+        mean_err = sum(abs(a - b) for a, b in zip(decoded, original)) \
+            / len(original)
+        assert mean_err < 48, f"round-trip error too high: {mean_err}"
+
+    def test_smooth_output_within_pixel_range(self):
+        from repro.workloads import smooth as smooth_mod
+
+        assert all(0 <= b <= 255 for b in smooth_mod.reference())
+
+    def test_corner_finds_some_corners(self):
+        from repro.workloads import corner as corner_mod
+
+        out = corner_mod.reference()
+        count = int.from_bytes(out[-4:], "little")
+        assert 0 < count < len(out) - 4
