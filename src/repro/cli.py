@@ -28,6 +28,29 @@ import sys
 from .core.report import render_percent_table, render_table
 
 
+def _progress_flag(args) -> "bool | None":
+    """``--progress``/``--quiet`` -> tri-state progress switch.
+
+    ``None`` lets ``REPRO_PROGRESS`` decide (see
+    :func:`repro.obs.progress.progress_enabled`).
+    """
+    if getattr(args, "quiet", False):
+        return False
+    if getattr(args, "progress", False):
+        return True
+    return None
+
+
+def _add_progress_flags(parser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--progress", action="store_true",
+                       help="live per-campaign progress on stderr "
+                            "(runs/sec, ETA, outcome counts)")
+    group.add_argument("--quiet", action="store_true",
+                       help="suppress the progress line even if "
+                            "REPRO_PROGRESS is set")
+
+
 def _cmd_workloads(args) -> int:
     from .injectors.golden import golden_run
     from .workloads.suite import WORKLOAD_NAMES, workload_spec
@@ -123,7 +146,8 @@ def _cmd_campaign(args) -> int:
         args.workload, args.config, injector=args.injector,
         structure=args.structure, model=args.model, n=args.n,
         seed=args.seed, hardened=args.hardened,
-        use_cache=not args.no_cache)
+        use_cache=not args.no_cache,
+        progress=_progress_flag(args))
     print(campaign.summary())
     if args.injector == "gefin":
         print(f"HVF      : {campaign.hvf() * 100:.3f}%")
@@ -193,7 +217,8 @@ def _cmd_study(args) -> int:
     workloads = args.workloads.split(",")
     scale = StudyScale(n_avf=args.n_avf, n_pvf=args.n_pvf,
                        n_svf=args.n_svf, seed=args.seed)
-    study = CrossLayerStudy(workloads, args.config, scale)
+    study = CrossLayerStudy(workloads, args.config, scale,
+                            progress=_progress_flag(args))
     methods = args.methods.split(",")
     rows = []
     for workload in workloads:
@@ -278,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("WD", "WOI", "WI"))
     p.add_argument("-n", type=int, default=100)
     p.add_argument("--no-cache", action="store_true")
+    _add_progress_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("trace", help="dynamic instruction trace")
@@ -307,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-pvf", type=int, default=80)
     p.add_argument("--n-svf", type=int, default=80)
     p.add_argument("--seed", type=int, default=1)
+    _add_progress_flags(p)
     p.set_defaults(func=_cmd_study)
 
     p = sub.add_parser("casestudy", help="hardening case study (§VI.B)")

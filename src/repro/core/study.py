@@ -57,12 +57,15 @@ class CrossLayerStudy:
     def __init__(self, workloads=WORKLOAD_NAMES,
                  config: "MicroarchConfig | str" = "cortex-a72",
                  scale: StudyScale | None = None,
-                 hardened: bool = False) -> None:
+                 hardened: bool = False,
+                 progress: bool | None = None) -> None:
         self.workloads = tuple(workloads)
         self.config = (config_by_name(config) if isinstance(config, str)
                        else config)
         self.scale = scale or StudyScale.from_env()
         self.hardened = hardened
+        #: live per-campaign progress on stderr (None = REPRO_PROGRESS)
+        self.progress = progress
 
     # ------------------------------------------------------------------
     # campaigns (cached on disk by run_campaign)
@@ -73,7 +76,8 @@ class CrossLayerStudy:
             structure: run_campaign(
                 workload, self.config, injector="gefin",
                 structure=structure, n=self.scale.n_avf,
-                seed=self.scale.seed, hardened=self.hardened)
+                seed=self.scale.seed, hardened=self.hardened,
+                progress=self.progress)
             for structure in STRUCTURES
         }
 
@@ -82,12 +86,14 @@ class CrossLayerStudy:
         return run_campaign(workload, self.config, injector="pvf",
                             model=model, n=self.scale.n_pvf,
                             seed=self.scale.seed,
-                            hardened=self.hardened)
+                            hardened=self.hardened,
+                            progress=self.progress)
 
     def svf_campaign(self, workload: str) -> CampaignResult:
         return run_campaign(workload, self.config, injector="svf",
                             n=self.scale.n_svf, seed=self.scale.seed,
-                            hardened=self.hardened)
+                            hardened=self.hardened,
+                            progress=self.progress)
 
     # ------------------------------------------------------------------
     # derived quantities

@@ -4,10 +4,18 @@
 * :mod:`~repro.injectors.archinj` — architecture level (PVF).
 * :mod:`~repro.injectors.llfi` — software level (SVF, LLFI model).
 * :mod:`~repro.injectors.campaign` — orchestration, caching, stats.
+* :mod:`~repro.injectors.engine` — sharded resumable execution.
 """
 
 from .archinj import PVF_MODELS, run_pvf_campaign
 from .campaign import INJECTORS, CampaignResult, run_campaign
+from .engine import (
+    Shard,
+    ShardFailure,
+    atomic_write_text,
+    plan_shards,
+    run_sharded,
+)
 from .gefin import InjectionResult, run_gefin_campaign, run_one_injection
 from .golden import GoldenRun, cache_dir, golden_run
 from .llfi import run_svf_campaign
@@ -18,11 +26,16 @@ __all__ = [
     "INJECTORS",
     "InjectionResult",
     "PVF_MODELS",
+    "Shard",
+    "ShardFailure",
+    "atomic_write_text",
     "cache_dir",
     "golden_run",
+    "plan_shards",
     "run_campaign",
     "run_gefin_campaign",
     "run_one_injection",
     "run_pvf_campaign",
+    "run_sharded",
     "run_svf_campaign",
 ]

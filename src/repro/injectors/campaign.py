@@ -20,16 +20,19 @@ plus Leveugle-style margins of error for every proportion.
 from __future__ import annotations
 
 import json
+import math
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import asdict, dataclass, field
 
 from ..faults.fault import sample_uniform
 from ..faults.outcomes import Outcome
 from ..faults.sampling import margin_of_error
+from ..obs import EventLog, ProgressReporter, progress_enabled
 from ..uarch.config import MicroarchConfig, config_by_name
 from .archinj import build_pvf_action, run_one_pvf
+from .engine import atomic_write_text, clear_checkpoints, run_sharded
 from .gefin import InjectionResult, run_one_injection
 from .golden import cache_dir, golden_run
 from .llfi import _dest_flip_action, run_one_svf
@@ -96,6 +99,9 @@ class CampaignResult:
     model: str | None = None          # pvf campaigns (WD/WOI/WI)
     hardened: bool = False
     occupancy_weight: float = 1.0
+    #: fault-population size (e.g. bits x cycles) for the
+    #: finite-population margin correction; ``None`` = infinite
+    population: float | None = None
     results: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -154,8 +160,21 @@ class CampaignResult:
             return {k: 0.0 for k in rates}
         return {k: v / total for k, v in rates.items()}
 
-    def margin(self, confidence: float = 0.99) -> float:
-        return margin_of_error(max(1, len(self.results)),
+    def margin(self, confidence: float = 0.99,
+               population: float | None = None) -> float:
+        """Margin of error; NaN for an empty campaign.
+
+        *population* (or the campaign's ``population`` field) enables
+        the finite-population correction of
+        :func:`repro.faults.sampling.margin_of_error`.
+        """
+        n = len(self.results)
+        if n == 0:
+            return math.nan
+        if population is None:
+            population = self.population
+        pop = population if population is not None else math.inf
+        return margin_of_error(n, population=pop,
                                confidence=confidence)
 
     def summary(self) -> str:
@@ -197,7 +216,13 @@ def _campaign_path(meta: tuple) -> "os.PathLike":
 def default_workers(n: int) -> int:
     env = os.environ.get("REPRO_WORKERS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed REPRO_WORKERS={env!r} "
+                f"(expected an integer); using the automatic default",
+                RuntimeWarning, stacklevel=2)
     if n < 32:
         return 1
     return min(os.cpu_count() or 1, 8)
@@ -208,7 +233,10 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
                  model: str = "WD", n: int = 200, seed: int = 1,
                  hardened: bool = False, prefer_live: bool = True,
                  use_cache: bool = True,
-                 workers: int | None = None) -> CampaignResult:
+                 workers: int | None = None,
+                 population: float | None = None,
+                 progress: bool | None = None,
+                 shard_size: int | None = None) -> CampaignResult:
     """Run (or load) one fault-injection campaign.
 
     Parameters mirror the paper's experimental axes: *injector* picks
@@ -216,6 +244,20 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     ``pvf`` = architecture level, ``svf`` = LLFI-style software
     level); *structure* is required for ``gefin``; *model* selects the
     PVF fault-propagation model.
+
+    Execution goes through the sharded engine
+    (:mod:`repro.injectors.engine`): runs are split into
+    deterministic shards, a crashed/raising worker re-runs only its
+    shard, completed shards are checkpointed atomically under the
+    cache directory, and an interrupted campaign resumes from its
+    checkpoints on the next invocation — aggregating to the same
+    bytes as an uninterrupted run, since every run is deterministic
+    in ``(seed, index)``.  *population* is the campaign's
+    fault-population size for finite-population error margins;
+    *progress* forces the live stderr progress line on/off
+    (``None`` defers to ``REPRO_PROGRESS``); *shard_size* overrides
+    the deterministic shard split (testing/tuning only — changing it
+    orphans existing checkpoints).
     """
     if injector not in INJECTORS:
         raise ValueError(f"unknown injector {injector!r}")
@@ -240,9 +282,16 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     path = _campaign_path(meta)
     if use_cache and path.exists():
         try:
-            return CampaignResult.from_json(json.loads(path.read_text()))
-        except (ValueError, TypeError, KeyError):
-            path.unlink()
+            campaign = CampaignResult.from_json(
+                json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError, OSError):
+            # tolerate two processes racing to remove (or replace)
+            # the same corrupt entry
+            path.unlink(missing_ok=True)
+        else:
+            if population is not None:
+                campaign.population = population
+            return campaign
 
     # make sure golden data exists before forking workers
     golden = golden_run(workload, config_name, hardened=hardened)
@@ -265,20 +314,34 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         weight = 1.0
 
     n_workers = workers if workers is not None else default_workers(n)
-    if n_workers > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(worker, tasks,
-                                    chunksize=max(1, n // (4 * n_workers))))
-    else:
-        results = [worker(task) for task in tasks]
+    target = (structure if injector == "gefin"
+              else model if injector == "pvf" else None)
+    label = (f"{injector}:{workload}@{config_name}"
+             + (f"/{target}" if target else ""))
+    reporter = (ProgressReporter(n, label=label)
+                if progress_enabled(progress) else None)
+    events = EventLog.resolve(default=cache_dir() / "events.jsonl")
+    checkpoint_dir = (cache_dir() / "shards" / path.stem
+                      if use_cache else None)
+
+    results = run_sharded(
+        worker, tasks, workers=n_workers, shard_size=shard_size,
+        checkpoint_dir=checkpoint_dir,
+        encode=asdict,
+        decode=lambda entry: InjectionResult(**entry),
+        events=events, progress=reporter,
+        outcome_key=lambda r: r.outcome,
+        label=path.stem)
 
     campaign = CampaignResult(
         injector=injector, workload=workload, config_name=config_name,
         n=n, seed=seed,
         structure=structure if injector == "gefin" else None,
         model=model if injector == "pvf" else None,
-        hardened=hardened, occupancy_weight=weight, results=results,
+        hardened=hardened, occupancy_weight=weight,
+        population=population, results=results,
     )
     if use_cache:
-        path.write_text(json.dumps(campaign.to_json()))
+        atomic_write_text(path, json.dumps(campaign.to_json()))
+        clear_checkpoints(checkpoint_dir)
     return campaign

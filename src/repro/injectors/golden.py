@@ -24,6 +24,7 @@ from ..uarch.config import MicroarchConfig, config_by_name
 from ..uarch.functional import run_functional
 from ..uarch.pipeline import run_pipeline
 from ..workloads.suite import load_workload
+from .engine import atomic_write_text
 
 #: watchdog multipliers relative to the golden run
 WATCHDOG_INSTR_FACTOR = 4
@@ -125,8 +126,10 @@ def golden_run(workload: str, config_name: str,
     if path.exists():
         try:
             return GoldenRun.from_json(json.loads(path.read_text()))
-        except (ValueError, TypeError, KeyError):
-            path.unlink()  # stale/corrupt cache entry
+        except (ValueError, TypeError, KeyError, OSError):
+            # stale/corrupt entry; missing_ok tolerates two processes
+            # racing to remove the same one
+            path.unlink(missing_ok=True)
 
     program = load_workload(workload, config.isa, hardened=hardened)
     func = run_functional(program, kernel="sim", collect_profile=True)
@@ -158,5 +161,5 @@ def golden_run(workload: str, config_name: str,
         pipe_instructions=pipe.instructions,
         occupancy=pipe.occupancy,
     )
-    path.write_text(json.dumps(golden.to_json()))
+    atomic_write_text(path, json.dumps(golden.to_json()))
     return golden

@@ -1,0 +1,12 @@
+"""Campaign observability: JSONL event log + live progress reporting.
+
+* :mod:`~repro.obs.events` — append-only JSONL event log written by
+  the campaign engine (started / shard done / retry / finished).
+* :mod:`~repro.obs.progress` — single-line stderr progress reporter
+  (runs/sec, ETA, running outcome counts).
+"""
+
+from .events import EventLog
+from .progress import ProgressReporter, progress_enabled
+
+__all__ = ["EventLog", "ProgressReporter", "progress_enabled"]

@@ -1,0 +1,61 @@
+"""Append-only JSONL event log for campaign telemetry.
+
+Every event is one JSON object per line with at least ``ts`` (Unix
+seconds) and ``event`` keys; the campaign engine adds ``campaign``
+(the cache key) plus event-specific fields:
+
+``campaign_started``   ``n``, ``shards``, ``resumed``, ``workers``
+``shard_done``         ``shard``, ``runs``, ``elapsed``
+``shard_retry``        ``shard``, ``attempt``, ``error``
+``campaign_finished``  ``runs``, ``elapsed``
+
+Lines are appended with ``O_APPEND`` semantics, so concurrent
+campaigns interleave whole lines rather than corrupting each other.
+The log location is resolved by :meth:`EventLog.resolve`: the
+``REPRO_EVENT_LOG`` environment variable names the file, the values
+``0``/``off``/``none`` disable logging, and an unset variable falls
+back to the *default* the caller supplies (the campaign engine passes
+``<cache dir>/events.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+_DISABLED = {"0", "off", "none", "false"}
+
+
+class EventLog:
+    """Writes telemetry events as JSON lines; ``path=None`` is a no-op."""
+
+    def __init__(self, path: "Path | str | None") -> None:
+        self.path = Path(path) if path is not None else None
+
+    @classmethod
+    def resolve(cls, default: "Path | str | None" = None) -> "EventLog":
+        """Build an event log honouring ``REPRO_EVENT_LOG``."""
+        env = os.environ.get("REPRO_EVENT_LOG")
+        if env is None:
+            return cls(default)
+        if env.strip().lower() in _DISABLED or not env.strip():
+            return cls(None)
+        return cls(env)
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event; telemetry failures never break a campaign."""
+        if self.path is None:
+            return
+        record = {"ts": round(time.time(), 3), "event": event, **fields}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(record) + "\n")
+        except OSError:
+            pass
