@@ -14,6 +14,12 @@ Commands
     Disassemble a workload's text section.
 ``campaign WORKLOAD``
     Run one fault-injection campaign and print the classification.
+``trace-fault WORKLOAD``
+    Replay one campaign run with propagation tracing and print the
+    flip's life story next to the instruction trace.
+``report [EVENTS]``
+    Aggregate an events.jsonl log into a text dashboard (outcome mix,
+    throughput, visibility-latency percentiles, retry hot spots).
 ``study``
     Cross-layer comparison over a workload set (mini Fig. 4/Table III).
 ``casestudy WORKLOAD``
@@ -23,6 +29,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core.report import render_percent_table, render_table
@@ -159,6 +166,72 @@ def _cmd_campaign(args) -> int:
              "hang": campaign.crash_kind_rate("hang")}
     print("crashes  : " + ", ".join(f"{k}={v * 100:.3f}%"
                                     for k, v in kinds.items()))
+    return 0
+
+
+def _cmd_trace_fault(args) -> int:
+    from .obs.tracing import (trace_fault, trace_fault_arch,
+                              trace_fault_soft)
+
+    if args.injector == "gefin":
+        trace, result = trace_fault(
+            args.workload, args.config, args.structure, args.seed,
+            index=args.index, hardened=args.hardened)
+    elif args.injector == "pvf":
+        trace, result = trace_fault_arch(
+            args.workload, args.config, args.model, args.seed,
+            index=args.index, hardened=args.hardened)
+    else:
+        trace, result = trace_fault_soft(
+            args.workload, args.config, args.seed,
+            index=args.index, hardened=args.hardened)
+    print(trace.render())
+    if args.window:
+        print()
+        print(_instruction_window(args, trace))
+    return 0
+
+
+def _instruction_window(args, trace) -> str:
+    """A golden instruction-trace window around the injection point."""
+    from .injectors.golden import golden_run
+    from .isa.registers import register_set
+    from .uarch.config import config_by_name
+    from .uarch.trace import trace_program
+    from .workloads.suite import load_workload
+
+    config = config_by_name(args.config)
+    golden = golden_run(args.workload, args.config,
+                        hardened=args.hardened)
+    if trace.injector == "gefin":
+        # the pipeline injects on a cycle; map it onto the dynamic
+        # instruction stream through the golden IPC
+        ipc = golden.pipe_instructions / max(golden.cycles, 1.0)
+        centre = int(trace.inject_cycle * ipc)
+    else:
+        centre = int(trace.inject_cycle)
+    start = max(0, centre - args.window // 2)
+    program = load_workload(args.workload, config.isa,
+                            hardened=args.hardened)
+    window = trace_program(program, start=start, count=args.window)
+    head = (f"golden instruction trace around the injection "
+            f"(instructions {start}..{start + args.window}):")
+    return head + "\n" + window.render(register_set(config.isa))
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .injectors.golden import cache_dir
+    from .obs.reporting import load_events, render_report
+
+    path = Path(args.events) if args.events \
+        else cache_dir() / "events.jsonl"
+    if not path.exists():
+        print(f"no event log at {path} (set REPRO_EVENT_LOG or run "
+              f"a campaign first)")
+        return 1
+    print(render_report(load_events(path), limit=args.limit))
     return 0
 
 
@@ -306,6 +379,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
+    p = sub.add_parser("trace-fault",
+                       help="replay one campaign run with "
+                            "propagation tracing")
+    common(p)
+    p.add_argument("--injector", choices=("gefin", "pvf", "svf"),
+                   default="gefin")
+    p.add_argument("--structure", default="RF",
+                   choices=("RF", "LSQ", "L1I", "L1D", "L2"),
+                   help="gefin target structure")
+    p.add_argument("--model", default="WD",
+                   choices=("WD", "WOI", "WI"),
+                   help="pvf fault-propagation model")
+    p.add_argument("--index", type=int, default=0,
+                   help="campaign run index to replay (default 0)")
+    p.add_argument("--window", type=int, default=12,
+                   help="instructions of golden trace context "
+                        "(0 disables)")
+    p.set_defaults(func=_cmd_trace_fault)
+
+    p = sub.add_parser("report",
+                       help="dashboard from a campaign event log")
+    p.add_argument("events", nargs="?", default=None,
+                   help="events.jsonl path (default: the cache "
+                        "directory's log)")
+    p.add_argument("--limit", type=int, default=20,
+                   help="campaigns to show in detail tables")
+    p.set_defaults(func=_cmd_report)
+
     p = sub.add_parser("trace", help="dynamic instruction trace")
     common(p)
     p.add_argument("--start", type=int, default=0)
@@ -349,7 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (head, less) closed the pipe; exit quietly
+        # without letting the interpreter complain about the dead fd
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,6 +63,31 @@ def render_bar_chart(values: dict, title: str | None = None,
     return "\n".join(out)
 
 
+def render_sparkline(values, width: int = 60) -> str:
+    """Compress a numeric series into one line of block glyphs.
+
+    Used by the campaign report for throughput trends: each glyph is
+    one (bucketed) sample scaled against the series maximum.
+    """
+    glyphs = " .:-=+*#%@"
+    values = [max(0.0, float(v)) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        # average adjacent samples down to *width* buckets
+        bucketed = []
+        step = len(values) / width
+        for i in range(width):
+            lo, hi = int(i * step), max(int((i + 1) * step), int(i * step) + 1)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    peak = max(values) or 1.0
+    scale = len(glyphs) - 1
+    return "".join(glyphs[min(scale, round(scale * v / peak))]
+                   for v in values)
+
+
 def render_stacked(series: dict, title: str | None = None,
                    width: int = 40) -> str:
     """Stacked two-component bars: {name: (sdc, crash)} per row.

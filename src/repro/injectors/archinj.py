@@ -56,7 +56,10 @@ def _wd_action(rng: random.Random, golden: GoldenRun,
             if reg:
                 engine.regs[reg] ^= 1 << bit
 
-        return FaultAction("commit", when, apply)
+        action = FaultAction("commit", when, apply)
+        action.origin = (f"architectural register {reg}, bit {bit} "
+                         f"at instruction {when}")
+        return action
     granule = rng.choice(golden.footprint)
     bit = rng.randrange(64)
     addr = granule + bit // 8
@@ -66,7 +69,10 @@ def _wd_action(rng: random.Random, golden: GoldenRun,
         byte = engine.memory.read(addr, 1)[0]
         engine.memory.write(addr, bytes([byte ^ mask]))
 
-    return FaultAction("commit", when, apply)
+    action = FaultAction("commit", when, apply)
+    action.origin = (f"program-flow memory {addr:#010x}, "
+                     f"bit {bit % 8} at instruction {when}")
+    return action
 
 
 def _code_flip_action(rng: random.Random, golden: GoldenRun,
@@ -86,7 +92,11 @@ def _code_flip_action(rng: random.Random, golden: GoldenRun,
         word = engine.memory.read_int(addr, 4)
         engine.memory.write_int(addr, word ^ mask, 4)
 
-    return FaultAction("commit", when, apply)
+    action = FaultAction("commit", when, apply)
+    action.origin = (f"instruction word "
+                     f"{'opcode' if opcode_field else 'operand'} "
+                     f"bit {bit} at instruction {when}")
+    return action
 
 
 def _pc_flip_action(rng: random.Random, golden: GoldenRun) -> FaultAction:
@@ -97,7 +107,9 @@ def _pc_flip_action(rng: random.Random, golden: GoldenRun) -> FaultAction:
     def apply(engine: FunctionalEngine) -> None:
         engine.ms.pc ^= 1 << bit
 
-    return FaultAction("commit", when, apply)
+    action = FaultAction("commit", when, apply)
+    action.origin = f"PC bit {bit} at instruction {when}"
+    return action
 
 
 def build_pvf_action(model: str, rng: random.Random, golden: GoldenRun,
@@ -115,12 +127,20 @@ def build_pvf_action(model: str, rng: random.Random, golden: GoldenRun,
 
 def run_one_pvf(workload: str, isa: str, action: FaultAction,
                 golden: GoldenRun,
-                hardened: bool = False) -> InjectionResult:
+                hardened: bool = False,
+                tracer=None) -> InjectionResult:
     program = load_workload(workload, isa, hardened=hardened)
     image = build_system_image(program)
     engine = FunctionalEngine(image, kernel="sim",
                               max_instructions=golden.max_instructions)
     engine.schedule(action)
+    if tracer is not None:
+        origin = getattr(action, "origin", "architectural state")
+        tracer.injected(float(action.when), origin)
+        # PVF faults are architecturally visible from birth: landing
+        # and crossing coincide, with zero latent hardware phase
+        tracer.crossed(float(action.when),
+                       f"visible at birth via {origin}")
     result = engine.run()
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
@@ -135,6 +155,8 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
         fault_applied=True,
         fault_live=True,
         crossed=True,   # PVF faults start architecturally visible
+        inject_cycle=float(action.when),
+        crossing_cycle=float(action.when),
     )
 
 

@@ -23,6 +23,7 @@ import json
 import math
 import os
 import random
+import time
 import warnings
 from dataclasses import asdict, dataclass, field
 
@@ -30,6 +31,8 @@ from ..faults.fault import sample_uniform
 from ..faults.outcomes import Outcome
 from ..faults.sampling import margin_of_error
 from ..obs import EventLog, ProgressReporter, progress_enabled
+from ..obs.metrics import (LATENCY_BUCKETS, Histogram, MetricsRegistry,
+                           get_registry)
 from ..uarch.config import MicroarchConfig, config_by_name
 from .archinj import build_pvf_action, run_one_pvf
 from .engine import atomic_write_text, clear_checkpoints, run_sharded
@@ -204,6 +207,60 @@ class CampaignResult:
 
 
 # ---------------------------------------------------------------------------
+# campaign telemetry
+# ---------------------------------------------------------------------------
+def _latency_histogram(results) -> Histogram:
+    """Visibility-latency histogram over the crossed runs."""
+    hist = Histogram(LATENCY_BUCKETS)
+    for result in results:
+        latency = result.visibility_latency
+        if latency is not None:
+            hist.observe(latency)
+    return hist
+
+
+def _summary_fields(campaign: "CampaignResult",
+                    elapsed: float) -> dict:
+    """The ``campaign_summary`` event payload: everything the
+    ``repro report`` dashboard needs without re-running simulation."""
+    outcomes: dict = {}
+    for result in campaign.results:
+        outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+    hist = _latency_histogram(campaign.results)
+    runs = len(campaign.results)
+    return {
+        "injector": campaign.injector,
+        "workload": campaign.workload,
+        "config": campaign.config_name,
+        "target": campaign.structure or campaign.model,
+        "runs": runs,
+        "elapsed": round(elapsed, 3),
+        "runs_per_sec": round(runs / elapsed, 3) if elapsed > 0 else 0.0,
+        "outcomes": outcomes,
+        "latency": {"boundaries": list(hist.boundaries),
+                    "counts": list(hist.counts),
+                    "count": hist.count, "sum": round(hist.sum, 3)},
+    }
+
+
+def _record_campaign_metrics(registry: MetricsRegistry,
+                             campaign: "CampaignResult",
+                             elapsed: float) -> None:
+    """Fold per-structure outcome tallies and latencies into *registry*."""
+    target = campaign.structure or campaign.model or campaign.injector
+    for result in campaign.results:
+        registry.counter(
+            f"campaign.outcomes.{target}.{result.outcome}").inc()
+    hist = registry.histogram("campaign.visibility_latency_cycles",
+                              LATENCY_BUCKETS)
+    for result in campaign.results:
+        latency = result.visibility_latency
+        if latency is not None:
+            hist.observe(latency)
+    registry.timer("campaign.wall_seconds").add(elapsed)
+
+
+# ---------------------------------------------------------------------------
 # the campaign runner
 # ---------------------------------------------------------------------------
 def _campaign_path(meta: tuple) -> "os.PathLike":
@@ -321,9 +378,13 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     reporter = (ProgressReporter(n, label=label)
                 if progress_enabled(progress) else None)
     events = EventLog.resolve(default=cache_dir() / "events.jsonl")
+    # The process-wide default, so serial-path pipeline metrics land in
+    # the same snapshot as the campaign/engine series.
+    registry = get_registry()
     checkpoint_dir = (cache_dir() / "shards" / path.stem
                       if use_cache else None)
 
+    wall_started = time.monotonic()
     results = run_sharded(
         worker, tasks, workers=n_workers, shard_size=shard_size,
         checkpoint_dir=checkpoint_dir,
@@ -331,7 +392,9 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         decode=lambda entry: InjectionResult(**entry),
         events=events, progress=reporter,
         outcome_key=lambda r: r.outcome,
-        label=path.stem)
+        label=path.stem,
+        metrics=registry if registry.enabled else None)
+    elapsed = time.monotonic() - wall_started
 
     campaign = CampaignResult(
         injector=injector, workload=workload, config_name=config_name,
@@ -341,6 +404,17 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         hardened=hardened, occupancy_weight=weight,
         population=population, results=results,
     )
+    events.emit("campaign_summary", campaign=path.stem,
+                **_summary_fields(campaign, elapsed))
+    if registry.enabled:
+        _record_campaign_metrics(registry, campaign, elapsed)
+        snapshot = registry.snapshot()
+        events.emit("metrics_snapshot", campaign=path.stem,
+                    metrics=snapshot)
+        # "metrics-" prefix: must never match the campaign-*.json globs
+        # used for cache scans and resume
+        atomic_write_text(cache_dir() / f"metrics-{path.stem}.json",
+                          json.dumps(snapshot, indent=2))
     if use_cache:
         atomic_write_text(path, json.dumps(campaign.to_json()))
         clear_checkpoints(checkpoint_dir)

@@ -176,9 +176,15 @@ def clear_checkpoints(checkpoint_dir: "Path | None") -> None:
 # execution
 # ---------------------------------------------------------------------------
 def _execute_shard(payload):
-    """Pool entry point: run one shard's tasks sequentially."""
+    """Pool entry point: run one shard's tasks sequentially.
+
+    Returns ``(results, wall_seconds)`` so the parent can account the
+    shard's true in-worker wall time even across process boundaries.
+    """
     worker, tasks = payload
-    return [worker(task) for task in tasks]
+    started = time.perf_counter()
+    results = [worker(task) for task in tasks]
+    return results, time.perf_counter() - started
 
 
 def _backoff(attempt: int, base: float, cap: float) -> float:
@@ -189,7 +195,7 @@ class _Run:
     """State shared by the serial and pooled execution paths."""
 
     def __init__(self, tasks, *, checkpoint_dir, encode, decode,
-                 events, progress, outcome_key, label):
+                 events, progress, outcome_key, label, metrics=None):
         self.tasks = tasks
         self.checkpoint_dir = checkpoint_dir
         self.encode = encode or (lambda r: r)
@@ -198,6 +204,7 @@ class _Run:
         self.progress = progress
         self.outcome_key = outcome_key
         self.label = label
+        self.metrics = metrics
         self.results: dict = {}
         self.started = time.monotonic()
 
@@ -225,13 +232,22 @@ class _Run:
                 self._advance(shard, cached)
         return pending
 
-    def complete(self, shard: Shard, shard_results) -> None:
+    def complete(self, shard: Shard, shard_results,
+                 wall: float = 0.0) -> None:
         self.results[shard.index] = shard_results
         if self.checkpoint_dir is not None:
             _store_checkpoint(self.checkpoint_dir, shard, shard_results,
                               self.encode)
         self.emit("shard_done", shard=shard.index, runs=len(shard),
+                  wall=round(wall, 3),
                   elapsed=round(time.monotonic() - self.started, 3))
+        if self.metrics is not None:
+            from ..obs.metrics import SECONDS_BUCKETS
+
+            self.metrics.histogram("engine.shard_seconds",
+                                   SECONDS_BUCKETS).observe(wall)
+            self.metrics.counter("engine.runs_completed").inc(
+                len(shard))
         self._advance(shard, shard_results)
 
     def shard_tasks(self, shard: Shard):
@@ -245,7 +261,7 @@ def run_sharded(worker, tasks, *, workers: int = 1,
                 max_retries: int = 2,
                 backoff_base: float = 0.25, backoff_cap: float = 4.0,
                 events=None, progress=None, outcome_key=None,
-                label: str = "campaign") -> list:
+                label: str = "campaign", metrics=None) -> list:
     """Execute *tasks* through *worker* in resumable, retried shards.
 
     Returns the per-task results in task order.  When
@@ -256,11 +272,14 @@ def run_sharded(worker, tasks, *, workers: int = 1,
     JSON-serialisable objects for the checkpoints.  A shard that
     keeps failing after *max_retries* retries raises
     :class:`ShardFailure` with the last worker exception chained.
+    *metrics* (a :class:`repro.obs.metrics.MetricsRegistry`) receives
+    shard wall times, completed-run and retry counters, and the
+    campaign's aggregate runs/sec.
     """
     plan = plan_shards(len(tasks), shard_size)
     run = _Run(tasks, checkpoint_dir=checkpoint_dir, encode=encode,
                decode=decode, events=events, progress=progress,
-               outcome_key=outcome_key, label=label)
+               outcome_key=outcome_key, label=label, metrics=metrics)
     pending = run.resume(plan)
     run.emit("campaign_started", n=len(tasks), shards=len(plan),
              resumed=len(plan) - len(pending), workers=workers)
@@ -275,8 +294,12 @@ def run_sharded(worker, tasks, *, workers: int = 1,
     ordered = []
     for shard in plan:
         ordered.extend(run.results[shard.index])
+    elapsed = time.monotonic() - run.started
     run.emit("campaign_finished", runs=len(ordered),
-             elapsed=round(time.monotonic() - run.started, 3))
+             elapsed=round(elapsed, 3))
+    if metrics is not None and elapsed > 0:
+        metrics.gauge("engine.runs_per_sec").set(
+            len(ordered) / elapsed)
     if progress is not None:
         progress.finish()
     return ordered
@@ -290,6 +313,8 @@ def _retry_or_raise(run: _Run, shard: Shard, attempts: dict,
     attempt = attempts[shard.index]
     run.emit("shard_retry", shard=shard.index, attempt=attempt,
              error=repr(exc))
+    if run.metrics is not None:
+        run.metrics.counter("engine.shard_retries").inc()
     if attempt > max_retries:
         raise ShardFailure(
             f"shard {shard.index} ({shard.name}) of {run.label} failed "
@@ -303,14 +328,14 @@ def _run_serial(run: _Run, pending, worker, max_retries, base, cap):
     while queue:
         shard = queue.popleft()
         try:
-            shard_results = _execute_shard((worker,
-                                            run.shard_tasks(shard)))
+            shard_results, wall = _execute_shard(
+                (worker, run.shard_tasks(shard)))
         except Exception as exc:  # noqa: BLE001 — retried, then re-raised
             _retry_or_raise(run, shard, attempts, exc, max_retries,
                             base, cap)
             queue.appendleft(shard)
         else:
-            run.complete(shard, shard_results)
+            run.complete(shard, shard_results, wall)
 
 
 def _run_pooled(run: _Run, pending, worker, workers, max_retries,
@@ -335,10 +360,10 @@ def _run_pooled(run: _Run, pending, worker, workers, max_retries,
             for future in as_completed(futures):
                 shard = futures[future]
                 try:
-                    shard_results = future.result()
+                    shard_results, wall = future.result()
                 except Exception as exc:  # noqa: BLE001 — retried below
                     _retry_or_raise(run, shard, attempts, exc,
                                     max_retries, base, cap)
                     remaining.append(shard)
                 else:
-                    run.complete(shard, shard_results)
+                    run.complete(shard, shard_results, wall)

@@ -40,6 +40,11 @@ class InjectionResult:
     crossed: bool = False         # became architecturally visible
     in_kernel_crossing: bool = False
     cycles: float = 0.0
+    #: cycle the flip was injected (0.0 for architectural injectors,
+    #: whose faults have no latent hardware phase)
+    inject_cycle: float = 0.0
+    #: cycle of the first architectural crossing; None if never crossed
+    crossing_cycle: float | None = None
 
     @property
     def vulnerable(self) -> bool:
@@ -50,17 +55,30 @@ class InjectionResult:
         """Counts toward HVF: activated in hardware or exposed above."""
         return self.crossed or self.outcome != Outcome.MASKED.value
 
+    @property
+    def visibility_latency(self) -> float | None:
+        """Cycles between injection and the architectural crossing."""
+        if self.crossing_cycle is None:
+            return None
+        return max(0.0, self.crossing_cycle - self.inject_cycle)
+
 
 def run_one_injection(workload: str, config: MicroarchConfig,
                       spec: FaultSpec, golden: GoldenRun,
-                      hardened: bool = False) -> InjectionResult:
-    """Execute one microarchitectural fault injection."""
+                      hardened: bool = False,
+                      tracer=None) -> InjectionResult:
+    """Execute one microarchitectural fault injection.
+
+    *tracer* (a :class:`repro.obs.tracing.FaultTracer`) records the
+    fault's propagation timeline; ``None`` keeps every hook a no-op.
+    """
     program = load_workload(workload, config.isa, hardened=hardened)
     image = build_system_image(program)
     engine = PipelineEngine(
         image, config, faults=[spec],
         max_instructions=golden.max_instructions,
         max_cycles=golden.max_cycles,
+        tracer=tracer,
     )
     result = engine.run()
 
@@ -90,6 +108,9 @@ def run_one_injection(workload: str, config: MicroarchConfig,
         in_kernel_crossing=(result.crossing.in_kernel
                             if result.crossing else False),
         cycles=result.cycles,
+        inject_cycle=spec.cycle,
+        crossing_cycle=(result.crossing.cycle
+                        if result.crossing else None),
     )
 
 

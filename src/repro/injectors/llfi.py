@@ -38,17 +38,28 @@ def _dest_flip_action(rng: random.Random, golden: GoldenRun,
         if dest:
             engine.regs[dest] ^= 1 << bit
 
-    return FaultAction("user_dest", when, apply)
+    action = FaultAction("user_dest", when, apply)
+    action.origin = (f"destination register of user instruction "
+                     f"{when}, bit {bit}")
+    return action
 
 
 def run_one_svf(workload: str, isa: str, action: FaultAction,
                 golden: GoldenRun,
-                hardened: bool = False) -> InjectionResult:
+                hardened: bool = False,
+                tracer=None) -> InjectionResult:
     program = load_workload(workload, isa, hardened=hardened)
     image = build_system_image(program)
     engine = FunctionalEngine(image, kernel="host",
                               max_instructions=golden.max_instructions)
     engine.schedule(action)
+    if tracer is not None:
+        origin = getattr(action, "origin", "destination register")
+        tracer.injected(float(action.when), origin)
+        # the LLFI model is instantaneous: the flip lands directly in
+        # committed architectural state
+        tracer.crossed(float(action.when),
+                       f"visible at birth via {origin}")
     result = engine.run()
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
@@ -63,6 +74,8 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
         fault_applied=True,
         fault_live=True,
         crossed=True,
+        inject_cycle=float(action.when),
+        crossing_cycle=float(action.when),
     )
 
 

@@ -1,12 +1,33 @@
-"""Campaign observability: JSONL event log + live progress reporting.
+"""Campaign observability: events, metrics, tracing, progress, reports.
 
 * :mod:`~repro.obs.events` — append-only JSONL event log written by
-  the campaign engine (started / shard done / retry / finished).
+  the campaign engine (started / shard done / retry / finished /
+  summary / metrics snapshot).
 * :mod:`~repro.obs.progress` — single-line stderr progress reporter
   (runs/sec, ETA, running outcome counts).
+* :mod:`~repro.obs.metrics` — opt-in metrics registry (counters,
+  gauges, histograms, timers) gated by ``REPRO_METRICS``.
+* :mod:`~repro.obs.tracing` — per-run fault-propagation traces (the
+  flip's life story across the vulnerability stack).
+* :mod:`~repro.obs.reporting` — ``repro report``: aggregate an event
+  log into a text dashboard without re-running any simulation.
 """
 
 from .events import EventLog
+from .metrics import (MetricsRegistry, get_registry, metrics_enabled,
+                      set_registry)
 from .progress import ProgressReporter, progress_enabled
+from .tracing import FaultTrace, FaultTracer, TraceEvent
 
-__all__ = ["EventLog", "ProgressReporter", "progress_enabled"]
+__all__ = [
+    "EventLog",
+    "FaultTrace",
+    "FaultTracer",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "TraceEvent",
+    "get_registry",
+    "metrics_enabled",
+    "progress_enabled",
+    "set_registry",
+]

@@ -13,6 +13,7 @@ explicit ``--progress``/``--quiet`` flag wins, otherwise the
 from __future__ import annotations
 
 import os
+import shutil
 import sys
 import time
 from collections import Counter
@@ -58,17 +59,35 @@ class ProgressReporter:
         self.counts.update(outcomes)
         self._draw()
 
-    def _draw(self) -> None:
+    def _compose(self, final: bool = False) -> str:
         elapsed = max(time.monotonic() - self._started, 1e-9)
         rate = self.done / elapsed
-        remaining = max(self.total - self.done, 0)
-        eta = remaining / rate if rate > 0 else float("inf")
-        line = (f"{self.label}: {self.done}/{self.total} runs  "
-                f"{rate:.1f} runs/s  ETA {_format_eta(eta)}")
+        if final:
+            line = (f"{self.label}: {self.done}/{self.total} runs  "
+                    f"{rate:.1f} runs/s  in {_format_eta(elapsed)}")
+        else:
+            remaining = max(self.total - self.done, 0)
+            eta = remaining / rate if rate > 0 else float("inf")
+            line = (f"{self.label}: {self.done}/{self.total} runs  "
+                    f"{rate:.1f} runs/s  ETA {_format_eta(eta)}")
         if self.counts:
             tallies = " ".join(f"{k}={v}"
                                for k, v in sorted(self.counts.items()))
             line += f"  [{tallies}]"
+        return line
+
+    def _width(self) -> int:
+        """Terminal width so a ``\\r`` redraw never wraps into scroll."""
+        return shutil.get_terminal_size((80, 24)).columns
+
+    def _draw(self, final: bool = False) -> None:
+        line = self._compose(final=final)
+        # clamp to the terminal: a line wider than the terminal wraps,
+        # and the next \r then only rewinds the *last* visual row,
+        # turning the redraw into scrolling garbage
+        width = max(self._width() - 1, 1)
+        if len(line) > width:
+            line = line[:width]
         pad = " " * max(self._last_len - len(line), 0)
         try:
             self.stream.write("\r" + line + pad)
@@ -78,8 +97,9 @@ class ProgressReporter:
         self._last_len = len(line)
 
     def finish(self) -> None:
-        """Terminate the status line so later output starts clean."""
+        """Redraw the final, self-describing state and end the line."""
         if self._last_len:
+            self._draw(final=True)
             try:
                 self.stream.write("\n")
                 self.stream.flush()

@@ -1,0 +1,204 @@
+"""``repro report``: turn an events.jsonl log into a text dashboard.
+
+Campaigns at ROADMAP scale produce event logs with millions of lines;
+this module aggregates one **without re-running any simulation**:
+outcome mix per campaign, throughput (runs/sec overall and as a
+per-shard trend), visibility-latency percentiles, and retry hot
+spots.  Everything is derived from the event stream the campaign
+engine already writes — ``campaign_started`` / ``shard_done`` /
+``shard_retry`` / ``campaign_finished`` plus the ``campaign_summary``
+record appended after aggregation (outcome tallies and the
+visibility-latency histogram) and optional ``metrics_snapshot``
+records when ``REPRO_METRICS`` is on.
+
+Rendering goes through :mod:`repro.core.report` so the dashboard
+matches the look of every other bench/figure in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.report import (render_bar_chart, render_sparkline,
+                           render_table)
+from .metrics import Histogram
+
+__all__ = ["load_events", "render_report"]
+
+
+def load_events(path: "Path | str") -> list:
+    """Parse a JSONL event log, skipping malformed/foreign lines."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "event" in record:
+                events.append(record)
+    return events
+
+
+def _hist_from_dump(dump: dict) -> "Histogram | None":
+    try:
+        hist = Histogram(dump["boundaries"])
+        hist.counts = list(dump["counts"])
+        hist.count = int(dump["count"])
+        hist.sum = float(dump["sum"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return hist
+
+
+class _Campaign:
+    """Mutable aggregate of one campaign's events."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.n = 0
+        self.shards = 0
+        self.resumed = 0
+        self.workers = 0
+        self.runs = 0
+        self.elapsed = 0.0
+        self.runs_per_sec = 0.0
+        self.retries: dict = {}          # shard -> (attempts, last err)
+        self.shard_rates: list = []      # runs/sec per completed shard
+        self.outcomes: dict = {}
+        self.latency: "Histogram | None" = None
+        self.label = key
+
+    def absorb(self, record: dict) -> None:
+        kind = record["event"]
+        if kind == "campaign_started":
+            self.n = record.get("n", self.n)
+            self.shards = record.get("shards", self.shards)
+            self.resumed = record.get("resumed", self.resumed)
+            self.workers = record.get("workers", self.workers)
+        elif kind == "shard_done":
+            wall = record.get("wall", 0.0)
+            runs = record.get("runs", 0)
+            if wall and runs:
+                self.shard_rates.append(runs / wall)
+        elif kind == "shard_retry":
+            shard = record.get("shard", -1)
+            attempts, _ = self.retries.get(shard, (0, ""))
+            self.retries[shard] = (max(attempts,
+                                       record.get("attempt", 1)),
+                                   record.get("error", ""))
+        elif kind == "campaign_finished":
+            self.runs = record.get("runs", self.runs)
+            self.elapsed = record.get("elapsed", self.elapsed)
+            if self.elapsed > 0:
+                self.runs_per_sec = self.runs / self.elapsed
+        elif kind == "campaign_summary":
+            self.outcomes = record.get("outcomes", {})
+            self.runs = record.get("runs", self.runs)
+            self.elapsed = record.get("elapsed", self.elapsed)
+            self.runs_per_sec = record.get("runs_per_sec",
+                                           self.runs_per_sec)
+            injector = record.get("injector")
+            if injector:
+                target = record.get("target")
+                self.label = (f"{injector}:{record.get('workload', '?')}"
+                              + (f"/{target}" if target else ""))
+            dump = record.get("latency")
+            if isinstance(dump, dict):
+                self.latency = _hist_from_dump(dump)
+
+
+def _aggregate(events: list) -> "dict[str, _Campaign]":
+    campaigns: dict = {}
+    for record in events:
+        key = record.get("campaign")
+        if not key:
+            continue
+        if key not in campaigns:
+            campaigns[key] = _Campaign(key)
+        campaigns[key].absorb(record)
+    return campaigns
+
+
+def _outcome_mix(outcomes: dict) -> str:
+    total = sum(outcomes.values())
+    if not total:
+        return "-"
+    return " ".join(f"{k}={100 * v / total:.0f}%"
+                    for k, v in sorted(outcomes.items(),
+                                       key=lambda kv: -kv[1]))
+
+
+def render_report(events: list, limit: int = 20) -> str:
+    """Render the text dashboard for a parsed event list."""
+    campaigns = _aggregate(events)
+    if not campaigns:
+        return "no campaign events found"
+    recent = list(campaigns.values())[-limit:]
+    sections = []
+
+    # --- campaign table -----------------------------------------------
+    rows = [[c.label, c.runs, f"{c.elapsed:.1f}s",
+             f"{c.runs_per_sec:.1f}",
+             sum(a for a, _ in c.retries.values()) or "-",
+             _outcome_mix(c.outcomes)] for c in recent]
+    sections.append(render_table(
+        ["campaign", "runs", "elapsed", "runs/s", "retries",
+         "outcome mix"], rows,
+        title=f"campaigns ({len(campaigns)} total, "
+              f"last {len(recent)} shown)"))
+
+    # --- aggregate outcome mix ----------------------------------------
+    totals: dict = {}
+    for c in campaigns.values():
+        for outcome, count in c.outcomes.items():
+            totals[outcome] = totals.get(outcome, 0) + count
+    grand = sum(totals.values())
+    if grand:
+        sections.append(render_bar_chart(
+            {k: v / grand for k, v in sorted(totals.items(),
+                                             key=lambda kv: -kv[1])},
+            title=f"outcome mix over {grand} runs"))
+
+    # --- visibility-latency percentiles -------------------------------
+    rows = []
+    for c in recent:
+        if c.latency is None or not c.latency.count:
+            continue
+        hist = c.latency
+        rows.append([c.label, hist.count, f"{hist.mean:.1f}",
+                     f"{hist.percentile(50):.1f}",
+                     f"{hist.percentile(90):.1f}",
+                     f"{hist.percentile(99):.1f}"])
+    if rows:
+        sections.append(render_table(
+            ["campaign", "crossed", "mean", "p50", "p90", "p99"],
+            rows, title="visibility latency, cycles "
+                        "(injection -> architectural crossing)"))
+
+    # --- throughput trend ---------------------------------------------
+    trend = [rate for c in recent for rate in c.shard_rates]
+    if trend:
+        lo, hi = min(trend), max(trend)
+        sections.append(
+            "throughput trend (runs/s per completed shard, "
+            f"{lo:.1f}..{hi:.1f})\n"
+            f"  [{render_sparkline(trend)}]")
+
+    # --- retry hot spots ----------------------------------------------
+    hot = [(c.label, shard, attempts, error)
+           for c in campaigns.values()
+           for shard, (attempts, error) in c.retries.items()]
+    hot.sort(key=lambda row: -row[2])
+    if hot:
+        rows = [[label, shard, attempts, error[:60]]
+                for label, shard, attempts, error in hot[:10]]
+        sections.append(render_table(
+            ["campaign", "shard", "attempts", "last error"], rows,
+            title="retry hot spots"))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,285 @@
+"""Fault-propagation tracing: the life story of one injected flip.
+
+The injectors classify a run into a final
+:class:`~repro.injectors.gefin.InjectionResult`, but the *path* the
+flip took — where it landed, how long it stayed latent in hardware,
+where it first crossed into architectural state, whether that
+crossing happened in kernel or user mode — is exactly the
+Fault Propagation Model narrative of the paper, and it is invisible
+in the aggregate.  This module records that path.
+
+A :class:`FaultTracer` is a passive hook object threaded through the
+pipeline and the injectors; every site guards with ``tracer is not
+None``, so tracing is a zero-cost no-op unless requested.  The
+collected :class:`TraceEvent` timeline plus the run's classification
+make a :class:`FaultTrace`, renderable as text and replayable on
+demand: :func:`trace_fault` re-derives the exact fault spec a
+campaign run ``(seed, index)`` used, so the trace agrees field by
+field with the campaign's own ``InjectionResult``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultTrace",
+    "FaultTracer",
+    "TraceEvent",
+    "trace_fault",
+    "trace_fault_arch",
+    "trace_fault_soft",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a fault's propagation, stamped in cycles."""
+
+    cycle: float
+    kind: str      # "injected" / "landed" / "crossed" / "outcome"
+    detail: str
+
+    def render(self) -> str:
+        return f"  @{self.cycle:>12.1f}  {self.kind:<9}  {self.detail}"
+
+
+class FaultTracer:
+    """Collects :class:`TraceEvent` records during one injected run."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, cycle: float, kind: str, detail: str) -> None:
+        self.events.append(TraceEvent(cycle, kind, detail))
+
+    # convenience wrappers used by the pipeline / injectors ------------
+    def injected(self, cycle: float, detail: str) -> None:
+        self.record(cycle, "injected", detail)
+
+    def landed(self, cycle: float, detail: str) -> None:
+        self.record(cycle, "landed", detail)
+
+    def crossed(self, cycle: float, detail: str) -> None:
+        self.record(cycle, "crossed", detail)
+
+    def outcome(self, cycle: float, detail: str) -> None:
+        self.record(cycle, "outcome", detail)
+
+
+@dataclass
+class FaultTrace:
+    """A fully-classified injection run plus its propagation timeline."""
+
+    workload: str
+    config_name: str
+    injector: str                 # gefin / pvf / svf
+    structure: str | None         # gefin target structure
+    model: str | None             # pvf FPM model
+    seed: int
+    index: int
+
+    # where the flip landed
+    inject_cycle: float = 0.0
+    landing: str = ""             # human-readable landing site
+
+    # propagation
+    fault_applied: bool = False
+    fault_live: bool = False
+    crossed: bool = False
+    crossing_cycle: float | None = None
+    crossing_site: str = ""       # first corrupted arch reg / address
+    in_kernel_crossing: bool = False
+    fpm: str | None = None
+
+    # classification
+    outcome: str = ""
+    crash_kind: str | None = None
+    cycles: float = 0.0
+
+    events: list = field(default_factory=list)
+
+    @property
+    def latency_cycles(self) -> float | None:
+        """Cycles the fault stayed latent before turning architectural."""
+        if self.crossing_cycle is None:
+            return None
+        return max(0.0, self.crossing_cycle - self.inject_cycle)
+
+    def render(self) -> str:
+        target = self.structure or self.model or "-"
+        head = (f"fault trace: {self.injector}:{self.workload}"
+                f"@{self.config_name}/{target} "
+                f"seed={self.seed} index={self.index}")
+        lines = [head, "=" * len(head)]
+        # gefin injects at a pipeline cycle; the functional injectors
+        # (pvf/svf) index dynamic instructions instead
+        unit = "cycle" if self.injector == "gefin" else "instruction"
+        lines.append(f"injected   : {unit} {self.inject_cycle:.1f} "
+                     f"into {self.landing}")
+        if not self.fault_applied:
+            lines.append("applied    : no (program ended first)")
+        elif not self.fault_live:
+            lines.append("applied    : yes, into dead state "
+                         "(hardware-masked)")
+        else:
+            lines.append("applied    : yes, into live state")
+        if self.crossed:
+            latency = self.latency_cycles
+            mode = "kernel" if self.in_kernel_crossing else "user"
+            lines.append(f"crossing   : {self.fpm} at {unit} "
+                         f"{self.crossing_cycle:.1f} "
+                         f"({latency:.1f} {unit}s latent, {mode} mode)"
+                         + (f" via {self.crossing_site}"
+                            if self.crossing_site else ""))
+        elif self.fpm == "ESC":
+            lines.append("crossing   : none — corrupted output "
+                         "escaped below the architecture (ESC)")
+        else:
+            lines.append("crossing   : never became architecturally "
+                         "visible")
+        out = f"outcome    : {self.outcome}"
+        if self.crash_kind:
+            out += f" ({self.crash_kind})"
+        lines.append(out)
+        if self.cycles:
+            lines.append(f"run length : {self.cycles:.1f} cycles")
+        if self.events:
+            lines.append("timeline   :")
+            lines.extend(e.render() for e in self.events)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# replay entry points (mirror the campaign workers' RNG derivations)
+# ---------------------------------------------------------------------------
+def _describe_spec(spec) -> str:
+    if spec.structure == "RF":
+        where = f"phys-reg slot {spec.a}, bit {spec.b}"
+    elif spec.structure == "LSQ":
+        where = f"entry slot {spec.a}, bit {spec.b}"
+    else:
+        where = (f"set {spec.a}, way {spec.b}, "
+                 f"{'tag' if spec.kind == 'tag' else 'line'} bit "
+                 f"{spec.c}")
+    burst = f" x{spec.n_bits} bits" if spec.n_bits > 1 else ""
+    live = " (steered live)" if spec.prefer_live else ""
+    return f"{spec.structure}: {where}{burst}{live}"
+
+
+def trace_fault(workload: str, config_name: str, structure: str,
+                seed: int, index: int = 0, hardened: bool = False,
+                prefer_live: bool = True):
+    """Replay campaign run ``(seed, index)`` with tracing enabled.
+
+    Derives the fault spec exactly as the gefin campaign worker does,
+    so the returned ``(FaultTrace, InjectionResult)`` matches the
+    classification the campaign path produced for the same run.
+    """
+    import random
+
+    from ..faults.fault import sample_uniform
+    from ..injectors.gefin import run_one_injection
+    from ..injectors.golden import golden_run
+    from ..uarch.config import config_by_name
+
+    config = config_by_name(config_name)
+    golden = golden_run(workload, config_name, hardened=hardened)
+    # identical derivation to campaign._one_gefin — keep in sync
+    rng = random.Random(repr((seed, "gefin", workload, config_name,
+                              structure, index)))
+    spec = sample_uniform(config, structure, golden.cycles, rng,
+                          prefer_live=prefer_live)
+    tracer = FaultTracer()
+    tracer.injected(spec.cycle, _describe_spec(spec))
+    result = run_one_injection(workload, config, spec, golden,
+                               hardened=hardened, tracer=tracer)
+    tracer.outcome(result.cycles,
+                   result.outcome
+                   + (f" ({result.crash_kind})"
+                      if result.crash_kind else ""))
+    trace = FaultTrace(
+        workload=workload, config_name=config_name, injector="gefin",
+        structure=structure, model=None, seed=seed, index=index,
+        inject_cycle=spec.cycle, landing=_describe_spec(spec),
+        fault_applied=result.fault_applied,
+        fault_live=result.fault_live,
+        crossed=result.crossed,
+        crossing_cycle=result.crossing_cycle,
+        crossing_site=_first_crossing_site(tracer),
+        in_kernel_crossing=result.in_kernel_crossing,
+        fpm=result.fpm, outcome=result.outcome,
+        crash_kind=result.crash_kind, cycles=result.cycles,
+        events=tracer.events,
+    )
+    return trace, result
+
+
+def _first_crossing_site(tracer: FaultTracer) -> str:
+    for event in tracer.events:
+        if event.kind == "crossed":
+            return event.detail.partition(" via ")[2]
+    return ""
+
+
+def _trace_functional(injector: str, workload: str, config_name: str,
+                      model: str | None, seed: int, index: int,
+                      hardened: bool):
+    """Shared PVF/SVF replay: architecture-level faults cross at birth."""
+    import random
+
+    from ..injectors.archinj import build_pvf_action, run_one_pvf
+    from ..injectors.golden import golden_run
+    from ..injectors.llfi import _dest_flip_action, run_one_svf
+    from ..isa.registers import register_set
+    from ..uarch.config import config_by_name
+
+    config = config_by_name(config_name)
+    golden = golden_run(workload, config_name, hardened=hardened)
+    xlen = register_set(config.isa).xlen
+    tracer = FaultTracer()
+    if injector == "pvf":
+        rng = random.Random(repr((seed, "pvf", model, workload,
+                                  config_name, index)))
+        action = build_pvf_action(model, rng, golden, xlen)
+        result = run_one_pvf(workload, config.isa, action, golden,
+                             hardened=hardened, tracer=tracer)
+    else:
+        rng = random.Random(repr((seed, "svf", workload, config_name,
+                                  index)))
+        action = _dest_flip_action(rng, golden, xlen)
+        result = run_one_svf(workload, config.isa, action, golden,
+                             hardened=hardened, tracer=tracer)
+    origin = getattr(action, "origin", "architectural state")
+    tracer.outcome(result.cycles,
+                   result.outcome
+                   + (f" ({result.crash_kind})"
+                      if result.crash_kind else ""))
+    trace = FaultTrace(
+        workload=workload, config_name=config_name, injector=injector,
+        structure=None, model=model, seed=seed, index=index,
+        inject_cycle=float(action.when), landing=origin,
+        fault_applied=result.fault_applied,
+        fault_live=result.fault_live,
+        crossed=result.crossed, crossing_cycle=result.crossing_cycle,
+        crossing_site=origin, in_kernel_crossing=False,
+        fpm=(model if injector == "pvf" else "WD"),
+        outcome=result.outcome, crash_kind=result.crash_kind,
+        cycles=result.cycles, events=tracer.events,
+    )
+    return trace, result
+
+
+def trace_fault_arch(workload: str, config_name: str, model: str,
+                     seed: int, index: int = 0,
+                     hardened: bool = False):
+    """Replay one architecture-level (PVF) campaign run with tracing."""
+    return _trace_functional("pvf", workload, config_name, model,
+                             seed, index, hardened)
+
+
+def trace_fault_soft(workload: str, config_name: str, seed: int,
+                     index: int = 0, hardened: bool = False):
+    """Replay one software-level (SVF/LLFI) campaign run with tracing."""
+    return _trace_functional("svf", workload, config_name, None,
+                             seed, index, hardened)

@@ -31,6 +31,7 @@ corrupt the output with no crossing are ESC by definition.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -59,6 +60,12 @@ class Crossing:
     fpm: str           # FPM value ("WD" / "WI" / "WOI")
     cycle: float
     in_kernel: bool
+    #: first corrupted architectural register (rename-map index), if
+    #: the crossing happened through a register read
+    arch_reg: int | None = None
+    #: first corrupted memory/fetch address, if it happened through
+    #: a tainted line or a corrupted instruction word
+    mem_addr: int | None = None
 
 
 @dataclass
@@ -98,7 +105,7 @@ class _PipelineCore(CoreAccess):
             return cached
         value, phys = e.rf.read(index)
         if phys in e.rf.tainted and e.crossing is None:
-            e.record_crossing("WD")
+            e.record_crossing("WD", arch_reg=index)
         return value
 
     def write_reg(self, index: int, value: int) -> None:
@@ -115,7 +122,7 @@ class _PipelineCore(CoreAccess):
         data, latency, tainted = e.l1d.read(addr, nbytes, e.probe)
         e.mem_latency = latency
         if tainted and e.crossing is None:
-            e.record_crossing("WD")
+            e.record_crossing("WD", mem_addr=addr)
         e.pending_mem = ("load", addr, nbytes)
         value = int.from_bytes(data, "little")
         if signed and value & (1 << (8 * nbytes - 1)):
@@ -140,7 +147,8 @@ class PipelineEngine:
     def __init__(self, image: SystemImage, config: MicroarchConfig,
                  faults=(), max_instructions: int = 2_000_000,
                  max_cycles: float = float("inf"),
-                 collect_stats: bool = False) -> None:
+                 collect_stats: bool = False,
+                 tracer=None) -> None:
         if register_set(config.isa).xlen != register_set(image.isa).xlen:
             raise ValueError(
                 f"config {config.name} is {config.isa} but program "
@@ -193,6 +201,9 @@ class PipelineEngine:
         self.fault_applied = False
         self.fault_live = False
         self.crossing: Crossing | None = None
+        #: optional repro.obs.tracing.FaultTracer; every hook guards
+        #: with ``is not None`` so tracing costs nothing when off
+        self.tracer = tracer
 
         # --- control -------------------------------------------------
         self.max_instructions = max_instructions
@@ -220,10 +231,25 @@ class PipelineEngine:
     # ------------------------------------------------------------------
     # crossing / fault bookkeeping
     # ------------------------------------------------------------------
-    def record_crossing(self, fpm: str) -> None:
+    def record_crossing(self, fpm: str, arch_reg: int | None = None,
+                        mem_addr: int | None = None) -> None:
         if self.crossing is None:
             self.crossing = Crossing(fpm, self.fetch_time,
-                                     self.ms.in_kernel)
+                                     self.ms.in_kernel,
+                                     arch_reg=arch_reg,
+                                     mem_addr=mem_addr)
+            if self.tracer is not None:
+                self.tracer.crossed(self.fetch_time,
+                                    self._crossing_detail(self.crossing))
+
+    def _crossing_detail(self, crossing: Crossing) -> str:
+        mode = "kernel" if crossing.in_kernel else "user"
+        site = ""
+        if crossing.arch_reg is not None:
+            site = f" via {self.regs_meta.name(crossing.arch_reg)}"
+        elif crossing.mem_addr is not None:
+            site = f" via {crossing.mem_addr:#010x}"
+        return f"{crossing.fpm} in {mode} mode{site}"
 
     def _apply_due_faults(self) -> None:
         while (self._next_fault < len(self.faults)
@@ -231,6 +257,12 @@ class PipelineEngine:
             spec = self.faults[self._next_fault]
             self._next_fault += 1
             self._apply_fault(spec)
+
+    def _trace_landing(self, detail: str) -> None:
+        if self.tracer is not None:
+            state = "live" if self.fault_live else "dead"
+            self.tracer.landed(self.fetch_time,
+                               f"{detail} ({state} state)")
 
     def _apply_fault(self, spec) -> None:
         self.fault_applied = True
@@ -242,12 +274,15 @@ class PipelineEngine:
                 live = [i for i in range(self.rf.n_phys)
                         if self.rf.state[i]]
                 if not live:
+                    self._trace_landing("RF: no live register")
                     return
                 phys = live[spec.a % len(live)]
             for k in range(n_bits):
                 info = self.rf.flip_bit(phys,
                                         (spec.b + k) % self.rf.xlen)
                 self.fault_live = self.fault_live or info["live"]
+            self._trace_landing(f"RF: physical register {phys}, "
+                                f"bit {spec.b % self.rf.xlen}")
             return
         if structure == "LSQ":
             self._apply_lsq_fault(spec)
@@ -258,6 +293,7 @@ class PipelineEngine:
             live = [(s, w) for s, ways in enumerate(cache.sets)
                     for w, line in enumerate(ways) if line.valid]
             if not live:
+                self._trace_landing(f"{structure}: no valid line")
                 return
             set_index, way = live[(spec.a * cache.assoc + spec.b)
                                   % len(live)]
@@ -272,6 +308,10 @@ class PipelineEngine:
                 info = cache.flip_bit(set_index, way,
                                       (spec.c + k) % line_bits)
                 self.fault_live = self.fault_live or info["live"]
+        self._trace_landing(
+            f"{structure}: set {set_index}, way {way}, "
+            f"{'tag' if getattr(spec, 'kind', 'data') == 'tag' else 'line'}"
+            f" bit {spec.c}")
         if self.fault_live:
             # invalidate the fetch fast path if we hit its line
             self._fetch_line_base = -1
@@ -285,8 +325,13 @@ class PipelineEngine:
             index = live[spec.a % len(live)]
         entry, fld, bit = self.lsq.flip_target(index, spec.b)
         if not entry.valid or entry.commit_cycle <= self.fetch_time:
+            self._trace_landing(f"LSQ: entry {index} ({fld} field)")
             return  # dead slot: hardware-masked
         self.fault_live = True
+        self._trace_landing(
+            f"LSQ: entry {index}, {fld} field, bit {bit} "
+            f"({'store' if entry.is_store else 'load'} "
+            f"@ {entry.addr:#010x})")
         n_bits = getattr(spec, "n_bits", 1)
         if fld == "data":
             for k in range(n_bits):
@@ -311,7 +356,7 @@ class PipelineEngine:
                                             ^ (1 << bit_in_byte)]),
                                self.probe)
                 self._taint_line(addr)
-                self.record_crossing("WD")
+                self.record_crossing("WD", mem_addr=addr)
         else:
             # corrupt the load's destination register if still live
             if entry.dest_phys >= 0 \
@@ -331,7 +376,7 @@ class PipelineEngine:
     def _replay_with_address(self, entry, flipped: int) -> None:
         """Retroactively move an in-flight memory op to a flipped address."""
         region = self.memory.region_of(flipped)
-        self.record_crossing("WD")
+        self.record_crossing("WD", mem_addr=flipped)
         if entry.is_store:
             # undo the original store, redo at the corrupted address
             self.l1d.write(entry.addr, entry.old_data, self.probe)
@@ -413,11 +458,12 @@ class PipelineEngine:
             # corrupted line holds data being executed, or the flip
             # cancelled out — treat as wrong instruction stream
             if pristine != word:
-                self.record_crossing("WI")
+                self.record_crossing("WI", mem_addr=addr)
             return
         from ..faults.fpm import classify_instruction_corruption
         self.record_crossing(
-            classify_instruction_corruption(pristine, word).value)
+            classify_instruction_corruption(pristine, word).value,
+            mem_addr=addr)
 
     # ------------------------------------------------------------------
     # per-instruction register usage
@@ -447,6 +493,11 @@ class PipelineEngine:
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> PipelineResult:
+        from ..obs.metrics import get_registry
+
+        registry = get_registry()
+        wall_started = (time.perf_counter() if registry.enabled
+                        else 0.0)
         config = self.config
         ms = self.ms
         inv_fetch = 1.0 / config.fetch_width
@@ -492,23 +543,25 @@ class PipelineEngine:
                 ready = dispatch
                 self.src_vals.clear()
                 tracker = self.lifetime_tracker
-                tainted_src = False
+                tainted_src = 0
                 if rs1:
                     value, phys = self.rf.read(rs1)
                     self.src_vals[rs1] = value
                     ready = max(ready, self.reg_ready[phys])
-                    tainted_src = tainted_src or phys in self.rf.tainted
+                    if phys in self.rf.tainted:
+                        tainted_src = rs1
                     if tracker is not None:
                         tracker.reg_read(phys, ready)
                 if rs2:
                     value, phys = self.rf.read(rs2)
                     self.src_vals.setdefault(rs2, value)
                     ready = max(ready, self.reg_ready[phys])
-                    tainted_src = tainted_src or phys in self.rf.tainted
+                    if not tainted_src and phys in self.rf.tainted:
+                        tainted_src = rs2
                     if tracker is not None:
                         tracker.reg_read(phys, ready)
                 if tainted_src:
-                    self.record_crossing("WD")
+                    self.record_crossing("WD", arch_reg=tainted_src)
                 dest_arch = self._dest(instr)
                 if dest_arch:
                     # writer_commit patched after commit is known (the
@@ -624,6 +677,9 @@ class PipelineEngine:
             status = RunStatus.DETECTED
 
         output, exit_code = self._drain_output()
+        if registry.enabled:
+            self._record_metrics(registry,
+                                 time.perf_counter() - wall_started)
         return PipelineResult(
             status=status,
             output=output,
@@ -705,6 +761,31 @@ class PipelineEngine:
             "l2": self.l2.stats(),
             "branch": self.predictor.stats(),
         }
+
+    def _record_metrics(self, registry, wall: float) -> None:
+        """Fold this execution into the process-wide metrics registry.
+
+        Runs once per execution (never in the instruction loop), so
+        the pipeline's hot path carries no metric calls at all.
+        """
+        registry.counter("pipeline.runs").inc()
+        registry.counter("pipeline.instructions").inc(self.instructions)
+        registry.timer("pipeline.wall_seconds").add(wall)
+        if wall > 0:
+            registry.gauge("pipeline.sim_cycles_per_sec").set(
+                self.last_commit / wall)
+        branch = self.predictor.stats()
+        registry.counter("pipeline.squashes").inc(branch["mispredicts"])
+        for name, cache in (("l1i", self.l1i), ("l1d", self.l1d),
+                            ("l2", self.l2)):
+            stats = cache.stats()
+            registry.counter(f"pipeline.{name}.hits").inc(stats["hits"])
+            registry.counter(f"pipeline.{name}.misses").inc(
+                stats["misses"])
+            lookups = stats["hits"] + stats["misses"]
+            if lookups:
+                registry.gauge(f"pipeline.{name}.hit_rate").set(
+                    stats["hits"] / lookups)
 
 
 def run_pipeline(user_program, config: MicroarchConfig, faults=(),

@@ -1,0 +1,301 @@
+"""Observability stack: event log, progress line, metrics, tracing.
+
+The acceptance bar: the event log survives concurrent writers without
+torn lines; the progress line never wraps the terminal; the metrics
+registry snapshot round-trips losslessly; and a replayed fault trace
+agrees exactly with the campaign worker for the same (workload,
+structure, seed, index).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    metrics_enabled,
+    set_registry,
+)
+from repro.obs.progress import ProgressReporter, _format_eta
+from repro.obs.reporting import load_events, render_report
+
+
+# ---------------------------------------------------------------------------
+# event log
+# ---------------------------------------------------------------------------
+class TestEventLog:
+    def test_resolve_unset_uses_default(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_EVENT_LOG", raising=False)
+        log = EventLog.resolve(default=tmp_path / "ev.jsonl")
+        assert log.enabled and log.path == tmp_path / "ev.jsonl"
+
+    @pytest.mark.parametrize("value", ["0", "off", "none", "false", " "])
+    def test_resolve_disabling_values(self, monkeypatch, tmp_path,
+                                      value):
+        monkeypatch.setenv("REPRO_EVENT_LOG", value)
+        log = EventLog.resolve(default=tmp_path / "ev.jsonl")
+        assert not log.enabled
+        log.emit("ignored")  # no-op, must not create the default path
+        assert not (tmp_path / "ev.jsonl").exists()
+
+    def test_resolve_env_path_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EVENT_LOG", str(tmp_path / "env.jsonl"))
+        log = EventLog.resolve(default=tmp_path / "default.jsonl")
+        assert log.path == tmp_path / "env.jsonl"
+
+    def test_emit_keeps_one_open_handle(self, tmp_path):
+        with EventLog(tmp_path / "ev.jsonl") as log:
+            log.emit("first", n=1)
+            handle = log._handle
+            assert handle is not None
+            log.emit("second", n=2)
+            assert log._handle is handle
+        assert log._handle is None  # context exit closed it
+        log.emit("third", n=3)      # transparently reopens
+        log.close()
+        events = [json.loads(line)["event"]
+                  for line in (tmp_path / "ev.jsonl").read_text()
+                  .splitlines()]
+        assert events == ["first", "second", "third"]
+
+    def test_concurrent_appends_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        per_writer = 200
+
+        def writer(tag):
+            log = EventLog(path)
+            for i in range(per_writer):
+                log.emit("tick", tag=tag, i=i)
+            log.close()
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4 * per_writer
+        records = [json.loads(line) for line in lines]  # no torn lines
+        for tag in range(4):
+            seen = [r["i"] for r in records if r["tag"] == tag]
+            assert seen == list(range(per_writer))
+
+
+# ---------------------------------------------------------------------------
+# progress reporter
+# ---------------------------------------------------------------------------
+class TestProgressReporter:
+    def test_line_contents_and_eta(self, monkeypatch):
+        stream = io.StringIO()
+        reporter = ProgressReporter(10, label="demo", stream=stream)
+        monkeypatch.setattr(reporter, "_width", lambda: 200)
+        reporter.advance(4, ["masked", "masked", "sdc", "crash"])
+        line = stream.getvalue()
+        assert line.startswith("\r")
+        assert "demo: 4/10 runs" in line
+        assert "runs/s" in line and "ETA" in line
+        assert "crash=1 masked=2 sdc=1" in line
+
+    def test_finish_final_state_names_campaign(self, monkeypatch):
+        stream = io.StringIO()
+        reporter = ProgressReporter(4, label="gefin:sha/RF",
+                                    stream=stream)
+        monkeypatch.setattr(reporter, "_width", lambda: 200)
+        reporter.advance(4, ["masked"] * 4)
+        reporter.finish()
+        final = stream.getvalue().split("\r")[-1]
+        assert final.endswith("\n")
+        assert "gefin:sha/RF: 4/4 runs" in final
+        assert "masked=4" in final
+        assert " in " in final and "ETA" not in final
+
+    def test_line_clamped_to_terminal_width(self, monkeypatch):
+        stream = io.StringIO()
+        reporter = ProgressReporter(1000, label="x" * 50, stream=stream)
+        monkeypatch.setattr(reporter, "_width", lambda: 40)
+        reporter.advance(500, ["masked"] * 500)
+        line = stream.getvalue().lstrip("\r")
+        assert len(line) <= 39
+
+    def test_eta_formatting(self):
+        assert _format_eta(42) == "42s"
+        assert _format_eta(90) == "1m30s"
+        assert _format_eta(7320) == "2h02m"
+        assert _format_eta(float("inf")) == "?"
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_enabled_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert metrics_enabled() is False
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        assert metrics_enabled() is True
+        assert metrics_enabled(explicit=False) is False
+
+    def test_disabled_registry_hands_out_null_instruments(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(3.0)
+        reg.histogram("h").observe(1.0)
+        with reg.timer("t").time():
+            pass
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {},
+                        "histograms": {}, "timers": {}}
+
+    def test_histogram_bucketing(self):
+        hist = Histogram((1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 5000.0):
+            hist.observe(value)
+        # upper-inclusive edges; the last sample overflows
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(5056.5 / 5)
+
+    def test_histogram_percentiles_interpolate(self):
+        hist = Histogram((10.0, 20.0))
+        for _ in range(10):
+            hist.observe(5.0)      # all in the first bucket
+        assert hist.percentile(50) == pytest.approx(5.0)
+        assert hist.percentile(100) == pytest.approx(10.0)
+        hist.observe(1000.0)       # overflow reports the last edge
+        assert hist.percentile(100) == pytest.approx(20.0)
+
+    def test_histogram_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram((5.0, 1.0))
+        Histogram(LATENCY_BUCKETS)  # the shipped edges are valid
+
+    def test_snapshot_round_trip(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("runs").inc(7)
+        reg.gauge("rate").set(12.5)
+        hist = reg.histogram("lat", (1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(99.0)
+        reg.timer("wall").add(1.25)
+        snap = reg.snapshot()
+        json.loads(json.dumps(snap))  # JSON-serialisable
+        again = MetricsRegistry.from_snapshot(snap)
+        assert again.snapshot() == snap
+
+    def test_set_registry_swaps_default(self):
+        from repro.obs.metrics import get_registry
+
+        custom = MetricsRegistry(enabled=True)
+        set_registry(custom)
+        try:
+            assert get_registry() is custom
+        finally:
+            set_registry(None)
+
+
+# ---------------------------------------------------------------------------
+# fault tracing
+# ---------------------------------------------------------------------------
+class TestTracing:
+    def test_trace_agrees_with_campaign_worker(self):
+        from repro.injectors.campaign import _one_gefin
+        from repro.obs.tracing import trace_fault
+
+        trace, result = trace_fault("sha", "cortex-a72", "RF", 7,
+                                    index=0)
+        campaign = _one_gefin(("sha", "cortex-a72", "RF", 7, 0,
+                               False, True))
+        assert result == campaign
+        assert trace.outcome == campaign.outcome
+        assert trace.fpm == campaign.fpm
+        assert trace.crossed == campaign.crossed
+
+    def test_trace_render_tells_the_story(self):
+        from repro.obs.tracing import trace_fault
+
+        trace, result = trace_fault("crc32", "cortex-a72", "RF", 7,
+                                    index=0)
+        text = trace.render()
+        assert "injected" in text and "outcome" in text
+        assert result.outcome in text
+        assert "timeline" in text
+        if trace.crossed:
+            assert trace.latency_cycles is not None
+            assert trace.latency_cycles >= 0
+
+
+# ---------------------------------------------------------------------------
+# report rendering
+# ---------------------------------------------------------------------------
+def _synthetic_events():
+    hist = Histogram(LATENCY_BUCKETS)
+    for value in (3.0, 40.0, 900.0):
+        hist.observe(value)
+    return [
+        {"ts": 1.0, "event": "campaign_started", "campaign": "c1",
+         "n": 8, "shards": 2, "resumed": 0, "workers": 1},
+        {"ts": 2.0, "event": "shard_done", "campaign": "c1",
+         "shard": 0, "runs": 4, "wall": 2.0, "elapsed": 2.0},
+        {"ts": 3.0, "event": "shard_retry", "campaign": "c1",
+         "shard": 1, "attempt": 2, "error": "boom"},
+        {"ts": 4.0, "event": "shard_done", "campaign": "c1",
+         "shard": 1, "runs": 4, "wall": 1.0, "elapsed": 3.0},
+        {"ts": 5.0, "event": "campaign_finished", "campaign": "c1",
+         "runs": 8, "elapsed": 4.0},
+        {"ts": 6.0, "event": "campaign_summary", "campaign": "c1",
+         "injector": "gefin", "workload": "sha", "target": "RF",
+         "runs": 8, "elapsed": 4.0, "runs_per_sec": 2.0,
+         "outcomes": {"masked": 5, "sdc": 2, "crash": 1},
+         "latency": {"boundaries": list(hist.boundaries),
+                     "counts": list(hist.counts),
+                     "count": hist.count, "sum": hist.sum}},
+    ]
+
+
+class TestReporting:
+    def test_load_events_skips_garbage(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "campaign_started"}\n'
+                        "not json at all\n"
+                        '{"no_event_key": 1}\n'
+                        '{"event": "campaign_finished"}\n')
+        kinds = [e["event"] for e in load_events(path)]
+        assert kinds == ["campaign_started", "campaign_finished"]
+
+    def test_render_report_sections(self):
+        text = render_report(_synthetic_events())
+        assert "gefin:sha/RF" in text          # campaign label
+        assert "outcome mix" in text
+        assert "masked" in text and "62" in text   # 5/8 = 62%
+        assert "visibility latency" in text
+        assert "p50" in text and "p99" in text
+        assert "throughput trend" in text
+        assert "retry hot spots" in text and "boom" in text
+
+    def test_render_report_empty(self):
+        assert render_report([]) == "no campaign events found"
+
+    def test_report_needs_no_simulation(self, monkeypatch):
+        # rendering must not import or invoke the pipeline
+        import sys
+
+        import repro.obs.reporting as reporting
+
+        monkeypatch.delitem(sys.modules, "repro.uarch.pipeline",
+                            raising=False)
+        render_report(_synthetic_events())
+        assert "repro.uarch.pipeline" not in sys.modules
+        assert reporting  # keep the import explicit
