@@ -14,6 +14,10 @@ Commands
     Disassemble a workload's text section.
 ``campaign WORKLOAD``
     Run one fault-injection campaign and print the classification.
+``fuzz``
+    Differential containment fuzzing: deterministic flip sweeps plus
+    a lockstep cosimulation oracle; escapes shrink to replayable JSON
+    reproducers (``--replay``).
 ``trace-fault WORKLOAD``
     Replay one campaign run with propagation tracing and print the
     flip's life story next to the instruction trace.
@@ -167,6 +171,35 @@ def _cmd_campaign(args) -> int:
     print("crashes  : " + ", ".join(f"{k}={v * 100:.3f}%"
                                     for k, v in kinds.items()))
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from .fuzz import replay, run_fuzz
+    from .injectors.campaign import default_workers
+
+    if args.replay:
+        result = replay(args.replay, hardened=args.hardened)
+        print(result.describe())
+        return 0 if result.contained else 1
+
+    n = args.cases if args.cases is not None \
+        else int(os.environ.get("REPRO_FUZZ_BUDGET", "500"))
+    seed = args.seed if args.seed is not None \
+        else int(os.environ.get("REPRO_FUZZ_SEED", "1"))
+    workloads = args.workloads or \
+        os.environ.get("REPRO_FUZZ_WORKLOADS", "all")
+    cosim_every = 0 if args.no_cosim else (
+        args.cosim_every if args.cosim_every is not None
+        else int(os.environ.get("REPRO_FUZZ_COSIM_EVERY", "64")))
+    workers = args.workers if args.workers is not None \
+        else default_workers(n)
+    report = run_fuzz(
+        n, seed=seed, workloads=workloads, config_name=args.config,
+        cosim_every=cosim_every, workers=workers,
+        repro_dir=args.repro_dir, progress=_progress_flag(args),
+        shrink=not args.no_shrink, hardened=args.hardened)
+    print(report.render())
+    return 0 if report.clean else 1
 
 
 def _cmd_trace_fault(args) -> int:
@@ -378,6 +411,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true")
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential containment fuzzing (see docs/API.md)")
+    p.add_argument("-n", "--cases", type=int, default=None,
+                   help="sweep budget (default: REPRO_FUZZ_BUDGET "
+                        "or 500)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="sweep seed (default: REPRO_FUZZ_SEED or 1)")
+    p.add_argument("--workloads", default=None,
+                   help="comma list or 'all' (default: "
+                        "REPRO_FUZZ_WORKLOADS or all)")
+    p.add_argument("--config", default="cortex-a72")
+    p.add_argument("--hardened", action="store_true")
+    p.add_argument("--cosim-every", type=int, default=None,
+                   help="lockstep snapshot interval in instructions "
+                        "(default: REPRO_FUZZ_COSIM_EVERY or 64)")
+    p.add_argument("--no-cosim", action="store_true",
+                   help="skip the fault-free cosimulation oracle")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep raw escape coordinates (faster triage)")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="re-execute one JSON reproducer and exit")
+    p.add_argument("--repro-dir", default=None,
+                   help="where reproducers land (default: "
+                        "REPRO_FUZZ_DIR or <cache>/fuzz-repros)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: REPRO_WORKERS "
+                        "heuristic)")
+    _add_progress_flags(p)
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("trace-fault",
                        help="replay one campaign run with "

@@ -1,0 +1,36 @@
+"""Coverage-guided differential fuzzing of the simulation stack.
+
+The fuzzer enforces the repository's *fault-containment contract*:
+any single-bit flip in any injectable structure, at any time, in any
+workload must terminate in a classified
+:class:`~repro.faults.outcomes.Verdict` — never in a host Python
+traceback.  See ``docs/API.md`` ("repro fuzz") for the contract and
+the reproducer format.
+"""
+
+from .cases import FUNCTIONAL_TARGETS, FuzzCase, sample_case, sample_cases
+from .oracle import CosimDivergence, CosimReport, cosim
+from .runner import (FuzzReport, ReplayResult, case_failure,
+                     case_signature, execute_case, fuzz_repro_dir,
+                     replay, run_fuzz, write_repro)
+from .shrink import shrink_case
+
+__all__ = [
+    "FUNCTIONAL_TARGETS",
+    "FuzzCase",
+    "sample_case",
+    "sample_cases",
+    "CosimDivergence",
+    "CosimReport",
+    "cosim",
+    "FuzzReport",
+    "ReplayResult",
+    "case_failure",
+    "case_signature",
+    "execute_case",
+    "fuzz_repro_dir",
+    "replay",
+    "run_fuzz",
+    "write_repro",
+    "shrink_case",
+]

@@ -1,0 +1,179 @@
+"""Fuzz-case sampling for the containment fuzzer.
+
+A :class:`FuzzCase` pins one differential-fuzzing experiment down
+completely: the engine under test, the workload/config pair, and the
+flip coordinates.  Two engine families exist:
+
+* ``engine="pipeline"`` — a :class:`repro.faults.fault.FaultSpec`
+  aimed at one of the five microarchitectural structures.  Unlike the
+  campaign samplers, the fuzzer deliberately draws coordinates *beyond*
+  the structure geometry (register indices past ``n_phys``, set/way
+  pairs outside the cache, LSQ slots past the queue) — exactly the
+  population that exercises the containment guards instead of the
+  common-case fault semantics.
+
+* ``engine="functional"`` — an architectural flip scheduled on a
+  dynamic-instruction counter: a register value (``AREG``), the PC
+  (``PC``), the instruction word about to execute (``CODE``), or a
+  program-footprint memory bit (``MEM``).  Register and PC flips are
+  the interesting ones: they turn committed values into wild pointers
+  and wild jump targets, stressing the memory and fetch guards.
+
+Sampling is deterministic in ``(seed, index)`` — every case can be
+regenerated independently, which is what makes sharded sweeps and
+single-case replay exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from ..faults.fault import FaultSpec
+from ..uarch.config import STRUCTURES, config_by_name
+
+#: functional-engine flip targets
+FUNCTIONAL_TARGETS = ("AREG", "PC", "CODE", "MEM")
+
+#: share of cases aimed at the timing model; the remainder run the
+#: functional engine (which is much faster, so wall-clock splits about
+#: evenly)
+_PIPELINE_SHARE = 0.6
+
+#: probability that a structure coordinate is drawn *outside* the
+#: structure geometry (the containment population)
+_WILD_SHARE = 0.35
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One deterministic differential-fuzzing experiment."""
+
+    index: int
+    seed: int
+    workload: str
+    config_name: str
+    engine: str            # "pipeline" | "functional"
+    target: str            # structure name or FUNCTIONAL_TARGETS entry
+    cycle: float           # pipeline: cycle; functional: instr index
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    kind: str = "data"     # pipeline caches: "data" | "tag"
+    n_bits: int = 1
+    prefer_live: bool = False
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FuzzCase":
+        return cls(**data)
+
+    def fault_spec(self) -> FaultSpec:
+        """The pipeline-engine fault this case encodes."""
+        if self.engine != "pipeline":
+            raise ValueError("only pipeline cases carry a FaultSpec")
+        return FaultSpec(self.target, self.cycle, a=self.a, b=self.b,
+                         c=self.c, prefer_live=self.prefer_live,
+                         kind=self.kind, n_bits=self.n_bits)
+
+    def describe(self) -> str:
+        return (f"case {self.index} (seed {self.seed}): "
+                f"{self.engine}/{self.target} on {self.workload}"
+                f"@{self.config_name}, t={self.cycle:.1f}, "
+                f"a={self.a}, b={self.b}, c={self.c}, "
+                f"kind={self.kind}, n_bits={self.n_bits}")
+
+
+def _wild(rng: random.Random, bound: int) -> int:
+    """A coordinate that may or may not respect ``bound``.
+
+    Most draws stay in-geometry (the semantic population); the wild
+    tail mixes near-boundary values, small multiples of the bound and
+    full-width garbage — the inputs a buggy soft-error model or a
+    corrupted checkpoint would hand the engine.
+    """
+    if rng.random() >= _WILD_SHARE:
+        return rng.randrange(bound)
+    roll = rng.random()
+    if roll < 0.4:
+        return bound + rng.randrange(4)          # just past the edge
+    if roll < 0.7:
+        return rng.randrange(bound * 4)          # small multiple
+    if roll < 0.9:
+        return rng.getrandbits(32)               # garbage word
+    return bound - 1 + rng.randrange(2)          # exactly the boundary
+
+
+def _sample_pipeline(rng: random.Random, config, t_max: float,
+                     index: int, seed: int, workload: str) -> FuzzCase:
+    structure = rng.choice(STRUCTURES)
+    cycle = rng.uniform(0.0, t_max * 1.05)
+    kind, c = "data", 0
+    if structure == "RF":
+        a = _wild(rng, config.n_phys_regs)
+        b = _wild(rng, config.xlen)
+    elif structure == "LSQ":
+        a = _wild(rng, config.lsq_size)
+        b = _wild(rng, config.lsq_entry_bits)
+    else:
+        cache = {"L1I": config.l1i, "L1D": config.l1d,
+                 "L2": config.l2}[structure]
+        n_sets = cache.size // (cache.assoc * cache.line_size)
+        a = _wild(rng, n_sets)
+        b = _wild(rng, cache.assoc)
+        c = _wild(rng, cache.line_size * 8)
+        kind = "tag" if rng.random() < 0.25 else "data"
+    return FuzzCase(index=index, seed=seed, workload=workload,
+                    config_name=config.name, engine="pipeline",
+                    target=structure, cycle=cycle, a=a, b=b, c=c,
+                    kind=kind, n_bits=rng.choice((1, 1, 2, 4)),
+                    prefer_live=rng.random() < 0.5)
+
+
+def _sample_functional(rng: random.Random, config, instructions: int,
+                       index: int, seed: int, workload: str) -> FuzzCase:
+    target = rng.choice(FUNCTIONAL_TARGETS)
+    when = float(rng.randrange(max(1, instructions)))
+    if target == "AREG":
+        a = rng.randrange(1, 32)               # folded by the builder
+        b = rng.randrange(config.xlen)
+    elif target == "PC":
+        a, b = 0, rng.randrange(config.xlen)   # high PC bits included
+    elif target == "CODE":
+        a, b = 0, rng.randrange(32)
+    else:                                      # MEM: footprint granule
+        a, b = rng.getrandbits(32), rng.randrange(64)
+    return FuzzCase(index=index, seed=seed, workload=workload,
+                    config_name=config.name, engine="functional",
+                    target=target, cycle=when, a=a, b=b)
+
+
+def sample_case(index: int, seed: int, workload: str, config_name: str,
+                cycles: float, instructions: int) -> FuzzCase:
+    """Regenerate fuzz case *index* of the ``seed`` sweep (exact)."""
+    rng = random.Random(repr((seed, "fuzz", workload, config_name,
+                              index)))
+    config = config_by_name(config_name)
+    if rng.random() < _PIPELINE_SHARE:
+        return _sample_pipeline(rng, config, cycles, index, seed,
+                                workload)
+    return _sample_functional(rng, config, instructions, index, seed,
+                              workload)
+
+
+def sample_cases(n: int, seed: int, workloads, config_name: str,
+                 goldens: dict) -> list[FuzzCase]:
+    """Draw the full *n*-case sweep, round-robin over *workloads*.
+
+    *goldens* maps workload name to its :class:`GoldenRun` (for the
+    cycle/instruction budgets the time coordinate is drawn from).
+    """
+    cases = []
+    for index in range(n):
+        workload = workloads[index % len(workloads)]
+        golden = goldens[workload]
+        cases.append(sample_case(index, seed, workload, config_name,
+                                 golden.cycles, golden.instructions))
+    return cases

@@ -1,0 +1,65 @@
+"""Greedy minimisation of failing fuzz cases.
+
+A raw escape comes with garbage coordinates (a 32-bit random word as a
+set index, a cycle deep into the run).  The shrinker walks the case
+toward the origin while preserving the *failure signature* — the
+``(error type, engine)`` pair of the resulting
+:class:`~repro.uarch.exceptions.ContainmentError` — so the checked-in
+reproducer is the smallest case that still demonstrates the bug.
+
+Moves are tried in a fixed order and the first one that keeps the
+signature is taken (classic greedy delta-debugging); iteration stops
+at a fixpoint or after ``max_steps`` executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .cases import FuzzCase
+
+
+def _candidates(case: FuzzCase):
+    """Smaller variants of *case*, most aggressive first."""
+    if case.cycle > 0:
+        yield replace(case, cycle=0.0)
+        yield replace(case, cycle=float(int(case.cycle // 2)))
+    if case.n_bits > 1:
+        yield replace(case, n_bits=1)
+    if case.kind != "data":
+        yield replace(case, kind="data")
+    if case.prefer_live:
+        yield replace(case, prefer_live=False)
+    for field in ("a", "b", "c"):
+        value = getattr(case, field)
+        if value > 0:
+            yield replace(case, **{field: 0})
+            yield replace(case, **{field: value // 2})
+            # geometric last step: converges in O(log) executions
+            # where a linear -1 crawl would exhaust the budget
+            yield replace(case, **{field: value * 3 // 4})
+
+
+def shrink_case(case: FuzzCase, fails, max_steps: int = 96) -> FuzzCase:
+    """Minimise *case* under the signature oracle *fails*.
+
+    *fails(case)* runs the case and returns its failure signature, or
+    ``None`` when the case no longer fails.  The original case must
+    fail; the returned case fails with the same signature.
+    """
+    signature = fails(case)
+    if signature is None:
+        raise ValueError("shrink_case needs a failing case")
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(case):
+            steps += 1
+            if steps > max_steps:
+                break
+            if fails(candidate) == signature:
+                case = candidate
+                improved = True
+                break
+    return case

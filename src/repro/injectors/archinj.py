@@ -28,6 +28,7 @@ import random
 from ..faults.outcomes import Outcome, Verdict, classify
 from ..isa.registers import register_set
 from ..kernel.loader import build_system_image
+from ..uarch.exceptions import ContainmentError
 from ..uarch.functional import FaultAction, FunctionalEngine
 from ..workloads.suite import load_workload
 from .gefin import InjectionResult
@@ -141,7 +142,13 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
         # and crossing coincide, with zero latent hardware phase
         tracer.crossed(float(action.when),
                        f"visible at birth via {origin}")
-    result = engine.run()
+    try:
+        result = engine.run()
+    except ContainmentError as exc:
+        raise exc.with_context(
+            injector="pvf", workload=workload, isa=isa,
+            origin=getattr(action, "origin", "architectural state"),
+            inject_cycle=float(action.when), hardened=hardened)
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
         golden.output, golden.exit_code,

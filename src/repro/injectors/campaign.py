@@ -34,6 +34,7 @@ from ..obs import EventLog, ProgressReporter, progress_enabled
 from ..obs.metrics import (LATENCY_BUCKETS, Histogram, MetricsRegistry,
                            get_registry)
 from ..uarch.config import MicroarchConfig, config_by_name
+from ..uarch.exceptions import ContainmentError
 from .archinj import build_pvf_action, run_one_pvf
 from .engine import atomic_write_text, clear_checkpoints, run_sharded
 from .gefin import InjectionResult, run_one_injection
@@ -55,8 +56,11 @@ def _one_gefin(args: tuple) -> InjectionResult:
                          structure, index)))
     spec = sample_uniform(config, structure, golden.cycles, rng,
                           prefer_live=prefer_live)
-    return run_one_injection(workload, config, spec, golden,
-                             hardened=hardened)
+    try:
+        return run_one_injection(workload, config, spec, golden,
+                                 hardened=hardened)
+    except ContainmentError as exc:
+        raise exc.with_context(seed=seed, index=index)
 
 
 def _one_pvf(args: tuple) -> InjectionResult:
@@ -69,8 +73,11 @@ def _one_pvf(args: tuple) -> InjectionResult:
 
     action = build_pvf_action(model, rng, golden,
                               register_set(config.isa).xlen)
-    return run_one_pvf(workload, config.isa, action, golden,
-                       hardened=hardened)
+    try:
+        return run_one_pvf(workload, config.isa, action, golden,
+                           hardened=hardened)
+    except ContainmentError as exc:
+        raise exc.with_context(seed=seed, index=index, model=model)
 
 
 def _one_svf(args: tuple) -> InjectionResult:
@@ -82,8 +89,11 @@ def _one_svf(args: tuple) -> InjectionResult:
 
     action = _dest_flip_action(rng, golden,
                                register_set(config.isa).xlen)
-    return run_one_svf(workload, config.isa, action, golden,
-                       hardened=hardened)
+    try:
+        return run_one_svf(workload, config.isa, action, golden,
+                           hardened=hardened)
+    except ContainmentError as exc:
+        raise exc.with_context(seed=seed, index=index)
 
 
 # ---------------------------------------------------------------------------
@@ -393,7 +403,8 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         events=events, progress=reporter,
         outcome_key=lambda r: r.outcome,
         label=path.stem,
-        metrics=registry if registry.enabled else None)
+        metrics=registry if registry.enabled else None,
+        repro_dir=cache_dir() / "repros")
     elapsed = time.monotonic() - wall_started
 
     campaign = CampaignResult(

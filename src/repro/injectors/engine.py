@@ -28,6 +28,7 @@ or :class:`InjectionResult`; callers supply the per-task worker and
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -38,6 +39,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..uarch.exceptions import ContainmentError
+
 __all__ = [
     "Shard",
     "ShardFailure",
@@ -45,6 +48,7 @@ __all__ = [
     "clear_checkpoints",
     "plan_shards",
     "run_sharded",
+    "write_containment_repro",
 ]
 
 #: shard sizing: aim for ~16 shards per campaign so a resume never
@@ -191,13 +195,38 @@ def _backoff(attempt: int, base: float, cap: float) -> float:
     return min(cap, base * (2 ** max(0, attempt - 1)))
 
 
+def write_containment_repro(repro_dir: "Path | str",
+                            exc: ContainmentError,
+                            label: str = "") -> Path:
+    """Persist a :class:`ContainmentError` as a JSON repro file.
+
+    The file carries the error plus its accumulated coordinate
+    context; ``repro fuzz --replay`` re-executes it deterministically.
+    """
+    repro_dir = Path(repro_dir)
+    digest = hashlib.sha256(
+        json.dumps([str(exc), exc.context, label],
+                   sort_keys=True, default=repr).encode()
+    ).hexdigest()[:12]
+    path = repro_dir / f"containment-{digest}.json"
+    atomic_write_text(path, json.dumps({
+        "kind": "containment",
+        "label": label,
+        "error": exc.args[0] if exc.args else str(exc),
+        "context": exc.context,
+    }, indent=2, sort_keys=True, default=repr))
+    return path
+
+
 class _Run:
     """State shared by the serial and pooled execution paths."""
 
     def __init__(self, tasks, *, checkpoint_dir, encode, decode,
-                 events, progress, outcome_key, label, metrics=None):
+                 events, progress, outcome_key, label, metrics=None,
+                 repro_dir=None):
         self.tasks = tasks
         self.checkpoint_dir = checkpoint_dir
+        self.repro_dir = repro_dir
         self.encode = encode or (lambda r: r)
         self.decode = decode or (lambda d: d)
         self.events = events
@@ -261,7 +290,8 @@ def run_sharded(worker, tasks, *, workers: int = 1,
                 max_retries: int = 2,
                 backoff_base: float = 0.25, backoff_cap: float = 4.0,
                 events=None, progress=None, outcome_key=None,
-                label: str = "campaign", metrics=None) -> list:
+                label: str = "campaign", metrics=None,
+                repro_dir: "Path | None" = None) -> list:
     """Execute *tasks* through *worker* in resumable, retried shards.
 
     Returns the per-task results in task order.  When
@@ -275,11 +305,20 @@ def run_sharded(worker, tasks, *, workers: int = 1,
     *metrics* (a :class:`repro.obs.metrics.MetricsRegistry`) receives
     shard wall times, completed-run and retry counters, and the
     campaign's aggregate runs/sec.
+
+    Retries cover *transient* worker failures only.  A worker that
+    raises :class:`ContainmentError` hit a deterministic simulator
+    bug — a fault that escaped classification — so the error is
+    re-raised immediately (retrying would burn the whole budget on
+    the same failure), its coordinates are emitted to the event log
+    as a ``containment_escape`` event, and a JSON repro file is
+    written under *repro_dir* when given.
     """
     plan = plan_shards(len(tasks), shard_size)
     run = _Run(tasks, checkpoint_dir=checkpoint_dir, encode=encode,
                decode=decode, events=events, progress=progress,
-               outcome_key=outcome_key, label=label, metrics=metrics)
+               outcome_key=outcome_key, label=label, metrics=metrics,
+               repro_dir=repro_dir)
     pending = run.resume(plan)
     run.emit("campaign_started", n=len(tasks), shards=len(plan),
              resumed=len(plan) - len(pending), workers=workers)
@@ -308,7 +347,24 @@ def run_sharded(worker, tasks, *, workers: int = 1,
 def _retry_or_raise(run: _Run, shard: Shard, attempts: dict,
                     exc: BaseException, max_retries: int,
                     base: float, cap: float) -> None:
-    """Account one failure; sleep the backoff or raise ShardFailure."""
+    """Account one failure; sleep the backoff or raise ShardFailure.
+
+    :class:`ContainmentError` is deterministic — same (seed, index)
+    coordinates, same escape — so it fails the campaign immediately
+    with the repro coordinates in the event log, never retried.
+    """
+    if isinstance(exc, ContainmentError):
+        run.emit("containment_escape", shard=shard.index,
+                 error=exc.args[0] if exc.args else str(exc),
+                 context=exc.context)
+        if run.metrics is not None:
+            run.metrics.counter("engine.containment_escapes").inc()
+        if run.repro_dir is not None:
+            path = write_containment_repro(run.repro_dir, exc,
+                                           label=run.label)
+            run.emit("containment_repro", shard=shard.index,
+                     path=str(path))
+        raise exc
     attempts[shard.index] = attempts.get(shard.index, 0) + 1
     attempt = attempts[shard.index]
     run.emit("shard_retry", shard=shard.index, attempt=attempt,

@@ -23,6 +23,7 @@ from ..faults.fault import FaultSpec, sample_campaign
 from ..faults.outcomes import Outcome, Verdict, classify
 from ..kernel.loader import build_system_image
 from ..uarch.config import MicroarchConfig
+from ..uarch.exceptions import ContainmentError
 from ..uarch.pipeline import PipelineEngine
 from ..workloads.suite import load_workload
 from .golden import GoldenRun, golden_run
@@ -80,7 +81,16 @@ def run_one_injection(workload: str, config: MicroarchConfig,
         max_cycles=golden.max_cycles,
         tracer=tracer,
     )
-    result = engine.run()
+    try:
+        result = engine.run()
+    except ContainmentError as exc:
+        # attach the exact flip coordinates so the escape replays
+        raise exc.with_context(
+            injector="gefin", workload=workload, config=config.name,
+            structure=spec.structure, a=spec.a, b=spec.b, c=spec.c,
+            kind=spec.kind, n_bits=spec.n_bits,
+            prefer_live=spec.prefer_live,
+            inject_cycle=round(spec.cycle, 3), hardened=hardened)
 
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,

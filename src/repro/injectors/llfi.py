@@ -18,6 +18,7 @@ import random
 from ..faults.outcomes import Verdict, classify
 from ..isa.registers import register_set
 from ..kernel.loader import build_system_image
+from ..uarch.exceptions import ContainmentError
 from ..uarch.functional import FaultAction, FunctionalEngine
 from ..workloads.suite import load_workload
 from .gefin import InjectionResult
@@ -60,7 +61,13 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
         # committed architectural state
         tracer.crossed(float(action.when),
                        f"visible at birth via {origin}")
-    result = engine.run()
+    try:
+        result = engine.run()
+    except ContainmentError as exc:
+        raise exc.with_context(
+            injector="svf", workload=workload, isa=isa,
+            origin=getattr(action, "origin", "destination register"),
+            inject_cycle=float(action.when), hardened=hardened)
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
         golden.output, golden.exit_code,

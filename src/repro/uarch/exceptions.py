@@ -49,6 +49,53 @@ class SimException(Exception):
         self.in_kernel = in_kernel
 
 
+class ContainmentError(Exception):
+    """A fault escaped the simulator as a host-level Python error.
+
+    The containment contract says: any single-bit flip in any
+    injectable structure, at any cycle, in any workload must terminate
+    in a classified :class:`repro.faults.outcomes.Verdict`.  The
+    simulation engines enforce it by converting every non-simulated
+    exception that escapes their run loop into this error, carrying
+    the exact flip coordinates so the failure is replayable
+    (``repro fuzz --replay``).
+
+    ``context`` accumulates coordinates as the error propagates
+    outward: the engine records where execution stood (pc, instruction
+    count, cycle, original error), the injector adds the fault spec
+    (workload, structure, bit coordinates, inject cycle) and the
+    campaign layer adds ``(seed, index)``.  Inner context wins —
+    :meth:`with_context` only fills keys that are still absent.
+
+    Unlike :class:`SimException` this is *not* an architectural event:
+    it means the simulator itself failed to contain the flip, which is
+    a deterministic bug.  The campaign engine therefore fails fast on
+    it (no retry — see :mod:`repro.injectors.engine`).
+    """
+
+    def __init__(self, message: str, context: dict | None = None) -> None:
+        super().__init__(message)
+        self.context: dict = dict(context or {})
+
+    def with_context(self, **fields) -> "ContainmentError":
+        """Annotate with outer-layer coordinates; existing keys win."""
+        for key, value in fields.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def __reduce__(self):
+        # keep the context across process-pool pickling
+        return (type(self), (self.args[0], self.context))
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        coords = ", ".join(f"{k}={v!r}"
+                           for k, v in sorted(self.context.items()))
+        return f"{base} [{coords}]"
+
+
 class DetectTrap(Exception):
     """Raised when a hardened program executes the ``detect`` trap.
 

@@ -35,7 +35,8 @@ from .cpu import (
     MachineState,
     execute,
 )
-from .exceptions import DetectTrap, FaultKind, SimException
+from .exceptions import (ContainmentError, DetectTrap, FaultKind,
+                         SimException)
 
 #: Shared decode cache: (xlen, word) -> Decoded | DecodeError.  Distinct
 #: words are few (static instructions + a handful of corrupted
@@ -167,6 +168,9 @@ class FunctionalEngine:
         self._core = _FunctionalCore(self)
         self._actions: list[FaultAction] = []
         self._counters = {"commit": 0, "user_dest": 0}
+        #: optional cosimulation hook (see repro.fuzz.oracle): called
+        #: with the engine after every executed instruction
+        self.arch_probe = None
 
     # ------------------------------------------------------------------
     # fault scheduling
@@ -232,6 +236,7 @@ class FunctionalEngine:
         fault_kind: FaultKind | None = None
         fault_in_kernel = False
         has_actions = bool(self._actions)
+        arch_probe = self.arch_probe
         try:
             while not ms.halted:
                 if self.executed >= self.max_instructions:
@@ -267,12 +272,28 @@ class FunctionalEngine:
                         self._counters["user_dest"] += 1
                     if profile is not None:
                         profile.dest_instructions += 1
+                if arch_probe is not None:
+                    arch_probe(self)
         except SimException as exc:
             status = RunStatus.SIM_EXCEPTION
             fault_kind = exc.kind
             fault_in_kernel = exc.in_kernel or ms.in_kernel
         except DetectTrap:
             status = RunStatus.DETECTED
+        except ContainmentError:
+            raise
+        except Exception as exc:
+            # Containment contract: see PipelineEngine.run — a flip
+            # must terminate in a Verdict, never a host traceback.
+            raise ContainmentError(
+                f"fault escaped the functional model as "
+                f"{type(exc).__name__}: {exc}",
+                context={
+                    "engine": "functional",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "pc": ms.pc,
+                    "instructions": self.executed,
+                }) from exc
 
         if profile is not None:
             profile.regs_used.discard(0)

@@ -66,6 +66,7 @@ class Memory:
     # region / privilege checks
     # ------------------------------------------------------------------
     def region_of(self, addr: int) -> Region | None:
+        addr &= ADDR_MASK
         for region in self._regions_sorted:
             if region.contains(addr):
                 return region
@@ -73,8 +74,24 @@ class Memory:
 
     def check_access(self, addr: int, nbytes: int, *, write: bool,
                      kernel_mode: bool) -> None:
-        """Raise the appropriate :class:`SimException` on a bad access."""
+        """Raise the appropriate :class:`SimException` on a bad access.
+
+        Containment contract: addresses arrive here from registers
+        that faults may have corrupted arbitrarily, so *every* shape
+        of bad address — negative, past the 32-bit physical space,
+        wrapping around it, or carrying a corrupt size — must become a
+        simulated memory fault, never a host-level error.
+        """
         addr &= ADDR_MASK
+        if nbytes <= 0:
+            raise SimException(FaultKind.ACCESS_FAULT, addr,
+                               detail=f"corrupt access size {nbytes}",
+                               in_kernel=kernel_mode)
+        if addr + nbytes - 1 > ADDR_MASK:
+            # access wraps past the top of physical memory
+            raise SimException(FaultKind.ACCESS_FAULT, addr,
+                               detail="access wraps the address space",
+                               in_kernel=kernel_mode)
         region = self.region_of(addr)
         if region is None or not region.contains(addr + nbytes - 1):
             raise SimException(FaultKind.ACCESS_FAULT, addr,

@@ -45,12 +45,37 @@ from .branch import BranchPredictor
 from .cache import Cache, MemoryPort, TaintProbe
 from .config import MicroarchConfig
 from .cpu import CoreAccess, MachineState, execute
-from .exceptions import DetectTrap, FaultKind, SimException
+from .exceptions import (ContainmentError, DetectTrap, FaultKind,
+                         SimException)
 from .functional import RunStatus, cached_decode
 from .lsq import LoadStoreQueue
 from .regfile import PhysRegFile
 
 _LINK32, _LINK64 = 14, 30
+
+
+def fold_coordinates(engine: "PipelineEngine", spec) -> tuple[int, int, int]:
+    """Fold a fault spec's raw ``(a, b, c)`` onto the target geometry.
+
+    The containment contract promises a :class:`Verdict` for *any*
+    coordinate triple, not just ones that happen to lie inside the
+    structure the spec names on this core: a spec sampled for a large
+    core (or fuzzed from arbitrary integers) must land somewhere, the
+    way an address decoder ignores bits beyond the array's width.
+    Folding is modulo each dimension, so in-range coordinates are
+    untouched and campaigns keep their exact historical sampling.
+    """
+    structure = spec.structure
+    a, b, c = spec.a, spec.b, getattr(spec, "c", 0)
+    if structure == "RF":
+        return a % engine.rf.n_phys, b % engine.rf.xlen, c
+    if structure == "LSQ":
+        return a % engine.lsq.size, b % engine.lsq.entry_bits, c
+    cache = {"L1I": engine.l1i, "L1D": engine.l1d,
+             "L2": engine.l2}[structure]
+    # c (the bit within line data / tag) is folded at the flip site,
+    # where data vs. tag width is known
+    return a % cache.n_sets, b % cache.assoc, c
 
 
 @dataclass
@@ -224,6 +249,10 @@ class PipelineEngine:
         #: set, the engine reports write/read/release events for the
         #: register file, LSQ and D-cache lines.
         self.lifetime_tracker = None
+        #: optional cosimulation hook (see repro.fuzz.oracle): called
+        #: with the engine after every committed instruction; hoisted
+        #: to a local in run() so a None probe costs nothing.
+        self.arch_probe = None
         self._fetch_line = None
         self._fetch_line_base = -1
         self._fetch_line_tag = -1
@@ -268,62 +297,61 @@ class PipelineEngine:
         self.fault_applied = True
         structure = spec.structure
         n_bits = getattr(spec, "n_bits", 1)
+        a, b, c = fold_coordinates(self, spec)
         if structure == "RF":
-            phys = spec.a
+            phys = a
             if spec.prefer_live:
                 live = [i for i in range(self.rf.n_phys)
                         if self.rf.state[i]]
                 if not live:
                     self._trace_landing("RF: no live register")
                     return
-                phys = live[spec.a % len(live)]
+                phys = live[a % len(live)]
             for k in range(n_bits):
                 info = self.rf.flip_bit(phys,
-                                        (spec.b + k) % self.rf.xlen)
+                                        (b + k) % self.rf.xlen)
                 self.fault_live = self.fault_live or info["live"]
             self._trace_landing(f"RF: physical register {phys}, "
-                                f"bit {spec.b % self.rf.xlen}")
+                                f"bit {b % self.rf.xlen}")
             return
         if structure == "LSQ":
-            self._apply_lsq_fault(spec)
+            self._apply_lsq_fault(spec, a, b)
             return
         cache = {"L1I": self.l1i, "L1D": self.l1d, "L2": self.l2}[structure]
-        set_index, way = spec.a, spec.b
+        set_index, way = a, b
         if spec.prefer_live:
             live = [(s, w) for s, ways in enumerate(cache.sets)
                     for w, line in enumerate(ways) if line.valid]
             if not live:
                 self._trace_landing(f"{structure}: no valid line")
                 return
-            set_index, way = live[(spec.a * cache.assoc + spec.b)
-                                  % len(live)]
+            set_index, way = live[(a * cache.assoc + b) % len(live)]
         if getattr(spec, "kind", "data") == "tag":
             for k in range(n_bits):
                 info = cache.flip_tag_bit(
-                    set_index, way, (spec.c + k) % cache.tag_bits)
+                    set_index, way, (c + k) % cache.tag_bits)
                 self.fault_live = self.fault_live or info["live"]
         else:
             line_bits = cache.line_size * 8
             for k in range(n_bits):
                 info = cache.flip_bit(set_index, way,
-                                      (spec.c + k) % line_bits)
+                                      (c + k) % line_bits)
                 self.fault_live = self.fault_live or info["live"]
         self._trace_landing(
             f"{structure}: set {set_index}, way {way}, "
             f"{'tag' if getattr(spec, 'kind', 'data') == 'tag' else 'line'}"
-            f" bit {spec.c}")
+            f" bit {c}")
         if self.fault_live:
             # invalidate the fetch fast path if we hit its line
             self._fetch_line_base = -1
 
-    def _apply_lsq_fault(self, spec) -> None:
-        index = spec.a
+    def _apply_lsq_fault(self, spec, index: int, bit: int) -> None:
         if spec.prefer_live:
             live = [i for i, e in enumerate(self.lsq.entries) if e.valid]
             if not live:
                 return
-            index = live[spec.a % len(live)]
-        entry, fld, bit = self.lsq.flip_target(index, spec.b)
+            index = live[index % len(live)]
+        entry, fld, bit = self.lsq.flip_target(index, bit)
         if not entry.valid or entry.commit_cycle <= self.fetch_time:
             self._trace_landing(f"LSQ: entry {index} ({fld} field)")
             return  # dead slot: hardware-masked
@@ -515,6 +543,7 @@ class PipelineEngine:
         fault_kind: FaultKind | None = None
         fault_in_kernel = False
         have_faults = bool(self.faults)
+        arch_probe = self.arch_probe
 
         try:
             while not ms.halted:
@@ -667,6 +696,8 @@ class PipelineEngine:
                 self.instructions += 1
                 if ms.in_kernel:
                     self.kernel_instructions += 1
+                if arch_probe is not None:
+                    arch_probe(self)
                 if self.collect_stats and not self.instructions % 64:
                     self._sample_occupancy()
         except SimException as exc:
@@ -675,6 +706,23 @@ class PipelineEngine:
             fault_in_kernel = exc.in_kernel or ms.in_kernel
         except DetectTrap:
             status = RunStatus.DETECTED
+        except ContainmentError:
+            raise
+        except Exception as exc:
+            # Containment contract: a fault must never surface as a
+            # host-level Python error.  Anything that does is a
+            # simulator bug; wrap it with the coordinates needed to
+            # replay it deterministically.
+            raise ContainmentError(
+                f"fault escaped the timing model as "
+                f"{type(exc).__name__}: {exc}",
+                context={
+                    "engine": "pipeline",
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "pc": ms.pc,
+                    "instructions": self.instructions,
+                    "cycle": round(self.fetch_time, 3),
+                }) from exc
 
         output, exit_code = self._drain_output()
         if registry.enabled:

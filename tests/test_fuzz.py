@@ -1,0 +1,196 @@
+"""The differential fuzzing subsystem (``repro fuzz``).
+
+Covers deterministic case sampling, clean sweeps, the lockstep
+cosimulation oracle (including that it actually fires), the shrinker,
+the checked-in regression corpus, and the end-to-end acceptance loop:
+reverting a containment guard makes the fuzzer find the escape, shrink
+it, and write a reproducer that replays to the same error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (FuzzCase, case_signature, cosim, replay,
+                        run_fuzz, sample_case, sample_cases,
+                        shrink_case)
+from repro.injectors.golden import golden_run
+from repro.uarch.exceptions import ContainmentError
+from repro.uarch.functional import FaultAction
+
+CONFIG = "cortex-a72"
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def _goldens(workloads):
+    return {w: golden_run(w, CONFIG) for w in workloads}
+
+
+# ---------------------------------------------------------------------------
+# sampling
+# ---------------------------------------------------------------------------
+class TestSampling:
+    def test_sweep_is_deterministic(self):
+        goldens = _goldens(["crc32", "sha"])
+        first = sample_cases(40, 9, ["crc32", "sha"], CONFIG, goldens)
+        again = sample_cases(40, 9, ["crc32", "sha"], CONFIG, goldens)
+        assert first == again
+        # and every case regenerates independently from (seed, index)
+        golden = goldens[first[7].workload]
+        assert first[7] == sample_case(7, 9, first[7].workload, CONFIG,
+                                       golden.cycles,
+                                       golden.instructions)
+
+    def test_sweep_covers_both_engines_and_structures(self):
+        goldens = _goldens(["crc32"])
+        cases = sample_cases(300, 1, ["crc32"], CONFIG, goldens)
+        engines = {c.engine for c in cases}
+        targets = {c.target for c in cases if c.engine == "pipeline"}
+        assert engines == {"pipeline", "functional"}
+        assert targets == {"RF", "LSQ", "L1I", "L1D", "L2"}
+        # the wild tail exists: some coordinates exceed any geometry
+        assert any(c.a > 10**6 for c in cases)
+
+    def test_case_roundtrips_through_json(self):
+        goldens = _goldens(["crc32"])
+        for case in sample_cases(20, 5, ["crc32"], CONFIG, goldens):
+            clone = FuzzCase.from_json(
+                json.loads(json.dumps(case.to_json())))
+            assert clone == case
+
+
+# ---------------------------------------------------------------------------
+# clean sweep + oracle
+# ---------------------------------------------------------------------------
+class TestSweep:
+    def test_small_sweep_is_clean(self, tmp_path):
+        report = run_fuzz(30, seed=7, workloads="crc32", workers=1,
+                          cosim_every=64, repro_dir=tmp_path)
+        assert report.clean
+        assert not report.escapes
+        assert sum(report.outcomes.values()) == 30
+        assert "escape" not in report.outcomes
+        assert report.cosim_reports[0].snapshots > 0
+        assert "CLEAN" in report.render()
+
+    def test_cosim_oracle_is_clean_fault_free(self):
+        report = cosim("crc32", CONFIG, every=32)
+        assert report.clean
+        assert report.snapshots > 10
+        assert report.instructions > 0
+
+    def test_cosim_oracle_detects_divergence(self):
+        # flip the stack pointer in the functional reference only:
+        # the lockstep comparison (or the terminal state) must fire
+        def perturb(engine):
+            sp = engine.regs_meta.stack_reg
+
+            def flip(e):
+                e.regs[sp] ^= 1 << 20
+
+            engine.schedule(FaultAction("commit", 50, flip))
+
+        report = cosim("crc32", CONFIG, every=16, perturb=perturb)
+        assert not report.clean
+        assert any("diverged at" in d.describe()
+                   for d in report.divergences)
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+class TestShrinker:
+    def test_shrinks_to_smaller_failing_case(self):
+        base = FuzzCase(index=0, seed=1, workload="crc32",
+                        config_name=CONFIG, engine="pipeline",
+                        target="RF", cycle=1234.5, a=100_000, b=61,
+                        c=9, n_bits=4, prefer_live=True)
+
+        def fails(case):
+            return "sig" if case.a >= 257 else None
+
+        shrunk = shrink_case(base, fails)
+        assert fails(shrunk) == "sig"
+        assert shrunk.cycle == 0.0
+        assert shrunk.n_bits == 1
+        assert not shrunk.prefer_live
+        # //2 and *3/4 moves converge into [threshold, threshold*4/3)
+        assert 257 <= shrunk.a < 343
+        assert shrunk.b == 0 and shrunk.c == 0
+
+    def test_rejects_non_failing_case(self):
+        base = FuzzCase(index=0, seed=1, workload="crc32",
+                        config_name=CONFIG, engine="pipeline",
+                        target="RF", cycle=0.0)
+        with pytest.raises(ValueError):
+            shrink_case(base, lambda case: None)
+
+
+# ---------------------------------------------------------------------------
+# the regression corpus
+# ---------------------------------------------------------------------------
+def _corpus_files():
+    return sorted(CORPUS.glob("*.json"))
+
+
+class TestCorpus:
+    def test_corpus_is_populated(self):
+        # one pre-hardening escape per injectable structure
+        structures = {json.loads(p.read_text())["case"]["target"]
+                      for p in _corpus_files()}
+        assert structures == {"RF", "LSQ", "L1I", "L1D", "L2"}
+
+    @pytest.mark.parametrize("path", _corpus_files(),
+                             ids=[p.stem for p in _corpus_files()])
+    def test_corpus_case_stays_contained(self, path):
+        result = replay(path)
+        assert result.contained, result.describe()
+        assert result.outcome in ("masked", "sdc", "crash", "detected")
+
+
+# ---------------------------------------------------------------------------
+# acceptance loop: revert a guard -> find, shrink, write, replay
+# ---------------------------------------------------------------------------
+class TestRevertedGuard:
+    def test_fuzzer_finds_shrinks_and_replays_escape(self, tmp_path,
+                                                     monkeypatch):
+        import repro.uarch.pipeline as pipeline_mod
+
+        identity = lambda engine, spec: (spec.a, spec.b,
+                                         getattr(spec, "c", 0))
+        monkeypatch.setattr(pipeline_mod, "fold_coordinates", identity)
+
+        report = run_fuzz(35, seed=7, workloads="crc32", workers=1,
+                          cosim_every=0, repro_dir=tmp_path)
+        assert not report.clean
+        assert report.escapes, "reverted guard must be found"
+        escape = report.escapes[0]
+        repro_path = Path(escape["repro"])
+        assert repro_path.exists()
+
+        # the reproducer is minimal: the shrinker zeroed the cycle
+        shrunk = FuzzCase.from_json(escape["shrunk_case"])
+        assert shrunk.cycle == 0.0
+        assert shrunk.n_bits == 1
+
+        # replaying with the guard still reverted reproduces the
+        # exact same escape signature
+        result = replay(repro_path)
+        assert not result.contained
+        assert escape["signature"] in result.describe() or \
+            result.error is not None
+        try:
+            from repro.fuzz import execute_case
+
+            execute_case(shrunk)
+            raise AssertionError("expected the escape to reproduce")
+        except ContainmentError as exc:
+            assert case_signature(exc) == escape["signature"]
+
+        # restoring the guard contains the very same case
+        monkeypatch.undo()
+        healed = replay(repro_path)
+        assert healed.contained, healed.describe()
