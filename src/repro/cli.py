@@ -158,7 +158,8 @@ def _cmd_campaign(args) -> int:
         structure=args.structure, model=args.model, n=args.n,
         seed=args.seed, hardened=args.hardened,
         use_cache=not args.no_cache,
-        progress=_progress_flag(args))
+        progress=_progress_flag(args),
+        fastpath=args.fastpath)
     print(campaign.summary())
     if args.injector == "gefin":
         print(f"HVF      : {campaign.hvf() * 100:.3f}%")
@@ -320,6 +321,10 @@ def _cmd_fit(args) -> int:
 def _cmd_study(args) -> int:
     from .core.study import CrossLayerStudy, StudyScale
 
+    if args.fastpath is False:
+        # CrossLayerStudy fans out over run_campaign internally; the
+        # env override reaches every campaign it spawns
+        os.environ["REPRO_FASTPATH"] = "0"
     workloads = args.workloads.split(",")
     scale = StudyScale(n_avf=args.n_avf, n_pvf=args.n_pvf,
                        n_svf=args.n_svf, seed=args.seed)
@@ -409,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("WD", "WOI", "WI"))
     p.add_argument("-n", type=int, default=100)
     p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--no-fastpath", dest="fastpath",
+                   action="store_const", const=False, default=None,
+                   help="disable the checkpoint fast path and "
+                        "simulate every run from reset (default: "
+                        "REPRO_FASTPATH, on)")
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -498,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-pvf", type=int, default=80)
     p.add_argument("--n-svf", type=int, default=80)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-fastpath", dest="fastpath",
+                   action="store_const", const=False, default=None,
+                   help="disable the checkpoint fast path and "
+                        "simulate every run from reset (default: "
+                        "REPRO_FASTPATH, on)")
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_study)
 

@@ -128,8 +128,11 @@ def build_pvf_action(model: str, rng: random.Random, golden: GoldenRun,
 
 def run_one_pvf(workload: str, isa: str, action: FaultAction,
                 golden: GoldenRun,
-                hardened: bool = False,
-                tracer=None) -> InjectionResult:
+                hardened: bool = False, tracer=None,
+                fastpath: "bool | None" = None) -> InjectionResult:
+    from ..uarch import snapshot
+    from .golden import checkpoint_store
+
     program = load_workload(workload, isa, hardened=hardened)
     image = build_system_image(program)
     engine = FunctionalEngine(image, kernel="sim",
@@ -142,13 +145,20 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
         # and crossing coincide, with zero latent hardware phase
         tracer.crossed(float(action.when),
                        f"visible at birth via {origin}")
+    use_fastpath = tracer is None and snapshot.fastpath_enabled(fastpath)
     try:
+        if use_fastpath:
+            store = checkpoint_store(workload, golden.config_name,
+                                     engine="functional-sim",
+                                     hardened=hardened)
+            snapshot.prepare_functional_fastpath(engine, store)
         result = engine.run()
     except ContainmentError as exc:
         raise exc.with_context(
             injector="pvf", workload=workload, isa=isa,
             origin=getattr(action, "origin", "architectural state"),
-            inject_cycle=float(action.when), hardened=hardened)
+            inject_cycle=float(action.when), hardened=hardened,
+            fastpath=use_fastpath)
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
         golden.output, golden.exit_code,

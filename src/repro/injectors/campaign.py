@@ -49,7 +49,7 @@ INJECTORS = ("gefin", "pvf", "svf")
 # ---------------------------------------------------------------------------
 def _one_gefin(args: tuple) -> InjectionResult:
     (workload, config_name, structure, seed, index, hardened,
-     prefer_live) = args
+     prefer_live, fastpath) = args
     config = config_by_name(config_name)
     golden = golden_run(workload, config_name, hardened=hardened)
     rng = random.Random(repr((seed, "gefin", workload, config_name,
@@ -58,13 +58,13 @@ def _one_gefin(args: tuple) -> InjectionResult:
                           prefer_live=prefer_live)
     try:
         return run_one_injection(workload, config, spec, golden,
-                                 hardened=hardened)
+                                 hardened=hardened, fastpath=fastpath)
     except ContainmentError as exc:
         raise exc.with_context(seed=seed, index=index)
 
 
 def _one_pvf(args: tuple) -> InjectionResult:
-    workload, config_name, model, seed, index, hardened = args
+    workload, config_name, model, seed, index, hardened, fastpath = args
     config = config_by_name(config_name)
     golden = golden_run(workload, config_name, hardened=hardened)
     rng = random.Random(repr((seed, "pvf", model, workload, config_name,
@@ -75,13 +75,13 @@ def _one_pvf(args: tuple) -> InjectionResult:
                               register_set(config.isa).xlen)
     try:
         return run_one_pvf(workload, config.isa, action, golden,
-                           hardened=hardened)
+                           hardened=hardened, fastpath=fastpath)
     except ContainmentError as exc:
         raise exc.with_context(seed=seed, index=index, model=model)
 
 
 def _one_svf(args: tuple) -> InjectionResult:
-    workload, config_name, seed, index, hardened = args
+    workload, config_name, seed, index, hardened, fastpath = args
     config = config_by_name(config_name)
     golden = golden_run(workload, config_name, hardened=hardened)
     rng = random.Random(repr((seed, "svf", workload, config_name, index)))
@@ -91,7 +91,7 @@ def _one_svf(args: tuple) -> InjectionResult:
                                register_set(config.isa).xlen)
     try:
         return run_one_svf(workload, config.isa, action, golden,
-                           hardened=hardened)
+                           hardened=hardened, fastpath=fastpath)
     except ContainmentError as exc:
         raise exc.with_context(seed=seed, index=index)
 
@@ -205,13 +205,21 @@ class CampaignResult:
     # (de)serialisation for the on-disk store
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
+        from . import golden as golden_mod
+
         data = asdict(self)
+        # version-salt the stored entry itself (in addition to the
+        # cache *key*), so entries written by a different engine
+        # schema are recognised as stale even if they land on the
+        # same path (e.g. copied caches)
+        data["schema"] = golden_mod.CACHE_SCHEMA_VERSION
         data["results"] = [asdict(r) for r in self.results]
         return data
 
     @classmethod
     def from_json(cls, data: dict) -> "CampaignResult":
         data = dict(data)
+        data.pop("schema", None)
         data["results"] = [InjectionResult(**r) for r in data["results"]]
         return cls(**data)
 
@@ -303,7 +311,8 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
                  workers: int | None = None,
                  population: float | None = None,
                  progress: bool | None = None,
-                 shard_size: int | None = None) -> CampaignResult:
+                 shard_size: int | None = None,
+                 fastpath: bool | None = None) -> CampaignResult:
     """Run (or load) one fault-injection campaign.
 
     Parameters mirror the paper's experimental axes: *injector* picks
@@ -325,58 +334,81 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     (``None`` defers to ``REPRO_PROGRESS``); *shard_size* overrides
     the deterministic shard split (testing/tuning only — changing it
     orphans existing checkpoints).
+
+    *fastpath* selects the golden-fork checkpoint fast path for every
+    run (``None`` defers to ``REPRO_FASTPATH``, on by default).  The
+    fast path is byte-identical to the slow path — it is deliberately
+    NOT part of the cache key, and the differential suite in
+    ``tests/test_snapshot_equivalence.py`` holds it to that.
     """
     if injector not in INJECTORS:
         raise ValueError(f"unknown injector {injector!r}")
     config_name = config if isinstance(config, str) else config.name
     cfg = config_by_name(config_name)
 
-    from .golden import config_digest, workload_digest
+    from ..uarch.snapshot import fastpath_enabled
+    from . import golden as golden_mod
+    from .golden import (checkpoint_store, config_digest,
+                         workload_digest)
 
+    use_fastpath = fastpath_enabled(fastpath)
     digest = (workload_digest(workload, cfg.isa, hardened)
               + config_digest(cfg))
+    schema = golden_mod.CACHE_SCHEMA_VERSION
     if injector == "gefin":
         if structure is None:
             raise ValueError("gefin campaigns need a structure")
         meta = ("gefin", workload, config_name, structure, n, seed,
-                hardened, prefer_live, digest)
+                hardened, prefer_live, digest, schema)
     elif injector == "pvf":
         meta = ("pvf", workload, config_name, model, n, seed, hardened,
-                digest)
+                digest, schema)
     else:
-        meta = ("svf", workload, config_name, n, seed, hardened, digest)
+        meta = ("svf", workload, config_name, n, seed, hardened,
+                digest, schema)
 
     path = _campaign_path(meta)
     if use_cache and path.exists():
         try:
-            campaign = CampaignResult.from_json(
-                json.loads(path.read_text()))
+            data = json.loads(path.read_text())
+            if data.get("schema") != schema:
+                raise ValueError("stale campaign cache schema")
+            campaign = CampaignResult.from_json(data)
         except (ValueError, TypeError, KeyError, OSError):
             # tolerate two processes racing to remove (or replace)
-            # the same corrupt entry
+            # the same corrupt/stale entry
             path.unlink(missing_ok=True)
         else:
             if population is not None:
                 campaign.population = population
             return campaign
 
-    # make sure golden data exists before forking workers
+    # make sure golden data (and, on the fast path, the checkpoint
+    # store) exists on disk before forking workers: every worker then
+    # loads the shared store instead of re-running its own capture run
     golden = golden_run(workload, config_name, hardened=hardened)
+    if use_fastpath:
+        checkpoint_store(workload, config_name,
+                         engine=("pipeline" if injector == "gefin"
+                                 else "functional-sim"
+                                 if injector == "pvf"
+                                 else "functional-host"),
+                         hardened=hardened)
 
     if injector == "gefin":
         tasks = [(workload, config_name, structure, seed, i, hardened,
-                  prefer_live) for i in range(n)]
+                  prefer_live, use_fastpath) for i in range(n)]
         worker = _one_gefin
         weight = (golden.occupancy.get(structure, 1.0)
                   if prefer_live else 1.0)
     elif injector == "pvf":
-        tasks = [(workload, config_name, model, seed, i, hardened)
-                 for i in range(n)]
+        tasks = [(workload, config_name, model, seed, i, hardened,
+                  use_fastpath) for i in range(n)]
         worker = _one_pvf
         weight = 1.0
     else:
-        tasks = [(workload, config_name, seed, i, hardened)
-                 for i in range(n)]
+        tasks = [(workload, config_name, seed, i, hardened,
+                  use_fastpath) for i in range(n)]
         worker = _one_svf
         weight = 1.0
 

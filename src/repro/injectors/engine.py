@@ -166,8 +166,18 @@ def _load_checkpoint(checkpoint_dir: Path, shard: Shard, decode):
 
 def _store_checkpoint(checkpoint_dir: Path, shard: Shard, results,
                       encode) -> None:
-    atomic_write_text(_checkpoint_path(checkpoint_dir, shard),
-                      json.dumps([encode(r) for r in results]))
+    """Best-effort checkpoint write.
+
+    A concurrent campaign that already aggregated the same result may
+    :func:`clear_checkpoints` this directory between the temp-file
+    write and the rename; losing the checkpoint only costs a shard
+    re-run on resume, so the vanished-directory race is tolerated.
+    """
+    try:
+        atomic_write_text(_checkpoint_path(checkpoint_dir, shard),
+                          json.dumps([encode(r) for r in results]))
+    except FileNotFoundError:
+        pass
 
 
 def clear_checkpoints(checkpoint_dir: "Path | None") -> None:

@@ -66,13 +66,23 @@ class InjectionResult:
 
 def run_one_injection(workload: str, config: MicroarchConfig,
                       spec: FaultSpec, golden: GoldenRun,
-                      hardened: bool = False,
-                      tracer=None) -> InjectionResult:
+                      hardened: bool = False, tracer=None,
+                      fastpath: "bool | None" = None) -> InjectionResult:
     """Execute one microarchitectural fault injection.
 
     *tracer* (a :class:`repro.obs.tracing.FaultTracer`) records the
     fault's propagation timeline; ``None`` keeps every hook a no-op.
+
+    *fastpath* selects the golden-fork checkpoint fast path (restore
+    the nearest fault-free checkpoint before the injection cycle, and
+    exit early once state provably reconverges onto the golden
+    trajectory); ``None`` defers to ``REPRO_FASTPATH`` (on by
+    default).  Results are byte-identical either way.  Tracing forces
+    the slow path, since a tracer observes the whole run.
     """
+    from ..uarch import snapshot
+    from .golden import checkpoint_store
+
     program = load_workload(workload, config.isa, hardened=hardened)
     image = build_system_image(program)
     engine = PipelineEngine(
@@ -81,7 +91,13 @@ def run_one_injection(workload: str, config: MicroarchConfig,
         max_cycles=golden.max_cycles,
         tracer=tracer,
     )
+    use_fastpath = tracer is None and snapshot.fastpath_enabled(fastpath)
     try:
+        if use_fastpath:
+            store = checkpoint_store(workload, config.name,
+                                     engine="pipeline",
+                                     hardened=hardened)
+            snapshot.prepare_pipeline_fastpath(engine, store)
         result = engine.run()
     except ContainmentError as exc:
         # attach the exact flip coordinates so the escape replays
@@ -90,7 +106,8 @@ def run_one_injection(workload: str, config: MicroarchConfig,
             structure=spec.structure, a=spec.a, b=spec.b, c=spec.c,
             kind=spec.kind, n_bits=spec.n_bits,
             prefer_live=spec.prefer_live,
-            inject_cycle=round(spec.cycle, 3), hardened=hardened)
+            inject_cycle=round(spec.cycle, 3), hardened=hardened,
+            fastpath=use_fastpath)
 
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,

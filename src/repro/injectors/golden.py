@@ -30,6 +30,13 @@ from .engine import atomic_write_text
 WATCHDOG_INSTR_FACTOR = 4
 WATCHDOG_CYCLE_FACTOR = 5
 
+#: schema version salting every on-disk cache key (golden runs,
+#: campaign results, checkpoint stores).  Bump whenever the result
+#: format or engine semantics change in a way that could silently mix
+#: stale entries with fresh ones (e.g. the fast-path introduction);
+#: old entries then simply miss and are recomputed.
+CACHE_SCHEMA_VERSION = 2
+
 
 def cache_dir() -> Path:
     """Directory for on-disk campaign/golden caches."""
@@ -110,7 +117,8 @@ def _golden_key(workload: str, config: MicroarchConfig,
                 hardened: bool) -> str:
     from .. import __version__
 
-    blob = json.dumps([__version__, workload, config.name, hardened,
+    blob = json.dumps([CACHE_SCHEMA_VERSION, __version__, workload,
+                       config.name, hardened,
                        workload_digest(workload, config.isa, hardened),
                        config_digest(config)]).encode()
     return hashlib.sha256(blob).hexdigest()[:24]
@@ -163,3 +171,61 @@ def golden_run(workload: str, config_name: str,
     )
     atomic_write_text(path, json.dumps(golden.to_json()))
     return golden
+
+
+# ---------------------------------------------------------------------------
+# checkpoint stores (the injection fast path; see repro.uarch.snapshot)
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def checkpoint_store(workload: str, config_name: str,
+                     engine: str = "pipeline", hardened: bool = False):
+    """Build (or load) the golden checkpoint store for one capture run.
+
+    *engine* selects the capture target: ``"pipeline"`` (AVF/HVF
+    runs), ``"functional-sim"`` (PVF) or ``"functional-host"`` (SVF).
+    Stores are cached in-process and on disk next to the golden
+    outputs; the key is salted with the workload/config digests plus
+    both schema versions, so any engine or format change invalidates
+    every stale store.
+    """
+    from .. import __version__
+    from ..kernel.loader import build_system_image
+    from ..uarch import snapshot
+
+    if engine not in ("pipeline", "functional-sim", "functional-host"):
+        raise ValueError(f"unknown checkpoint engine {engine!r}")
+    config = config_by_name(config_name)
+    golden = golden_run(workload, config_name, hardened)
+    total = (golden.pipe_instructions if engine == "pipeline"
+             else golden.instructions)
+    interval = snapshot.checkpoint_interval(total)
+    blob = json.dumps([CACHE_SCHEMA_VERSION,
+                       snapshot.SNAPSHOT_SCHEMA_VERSION, __version__,
+                       workload, config.name, engine, hardened,
+                       workload_digest(workload, config.isa, hardened),
+                       config_digest(config), interval]).encode()
+    key = hashlib.sha256(blob).hexdigest()[:24]
+    path = cache_dir() / (f"checkpoints-{workload}-{config.name}-"
+                          f"{engine}-{key}.pkl")
+    store = snapshot.load_store(path, key)
+    if store is not None:
+        return store
+
+    def factory():
+        return build_system_image(
+            load_workload(workload, config.isa, hardened=hardened))
+
+    if engine == "pipeline":
+        store = snapshot.build_pipeline_store(
+            factory, config, golden.max_instructions,
+            golden.max_cycles, interval, key=key)
+    else:
+        store = snapshot.build_functional_store(
+            factory, engine.split("-", 1)[1],
+            golden.max_instructions, interval, key=key)
+    if store.final["output"] != golden.output:
+        raise RuntimeError(
+            f"checkpoint capture run of {workload} on {config.name} "
+            f"({engine}) diverged from the golden output")
+    snapshot.save_store(path, store)
+    return store

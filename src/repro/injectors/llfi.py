@@ -47,8 +47,11 @@ def _dest_flip_action(rng: random.Random, golden: GoldenRun,
 
 def run_one_svf(workload: str, isa: str, action: FaultAction,
                 golden: GoldenRun,
-                hardened: bool = False,
-                tracer=None) -> InjectionResult:
+                hardened: bool = False, tracer=None,
+                fastpath: "bool | None" = None) -> InjectionResult:
+    from ..uarch import snapshot
+    from .golden import checkpoint_store
+
     program = load_workload(workload, isa, hardened=hardened)
     image = build_system_image(program)
     engine = FunctionalEngine(image, kernel="host",
@@ -61,13 +64,20 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
         # committed architectural state
         tracer.crossed(float(action.when),
                        f"visible at birth via {origin}")
+    use_fastpath = tracer is None and snapshot.fastpath_enabled(fastpath)
     try:
+        if use_fastpath:
+            store = checkpoint_store(workload, golden.config_name,
+                                     engine="functional-host",
+                                     hardened=hardened)
+            snapshot.prepare_functional_fastpath(engine, store)
         result = engine.run()
     except ContainmentError as exc:
         raise exc.with_context(
             injector="svf", workload=workload, isa=isa,
             origin=getattr(action, "origin", "destination register"),
-            inject_cycle=float(action.when), hardened=hardened)
+            inject_cycle=float(action.when), hardened=hardened,
+            fastpath=use_fastpath)
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
         golden.output, golden.exit_code,

@@ -42,6 +42,15 @@ LATENCY_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
 SECONDS_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
                    10.0, 30.0, 60.0, 300.0)
 
+# Checkpoint fast-path counters (see :mod:`repro.uarch.snapshot`):
+# how often a run started from a restored checkpoint, how much golden
+# prefix it skipped, and how often the early-Masked exit fired.
+FASTPATH_RESTORES = "fastpath.restores"
+FASTPATH_CYCLES_SKIPPED = "fastpath.cycles_skipped"
+FASTPATH_INSTRUCTIONS_SKIPPED = "fastpath.instructions_skipped"
+FASTPATH_EARLY_EXITS = "fastpath.early_exits"
+FASTPATH_INSTRUCTIONS_SAVED = "fastpath.instructions_saved"
+
 
 def metrics_enabled(explicit: "bool | None" = None) -> bool:
     """Resolve the metrics switch: argument > ``REPRO_METRICS`` > off."""

@@ -171,6 +171,11 @@ class FunctionalEngine:
         #: optional cosimulation hook (see repro.fuzz.oracle): called
         #: with the engine after every executed instruction
         self.arch_probe = None
+        #: optional checkpoint hook (see repro.uarch.snapshot): an
+        #: object with ``next_check`` (executed-instruction count) and
+        #: ``poll(engine)``; polled at the top of the run loop, and a
+        #: non-None poll() return ends the run with that result.
+        self.fastpath = None
 
     # ------------------------------------------------------------------
     # fault scheduling
@@ -237,8 +242,14 @@ class FunctionalEngine:
         fault_in_kernel = False
         has_actions = bool(self._actions)
         arch_probe = self.arch_probe
+        fastpath = self.fastpath
         try:
             while not ms.halted:
+                if fastpath is not None \
+                        and self.executed >= fastpath.next_check:
+                    early = fastpath.poll(self)
+                    if early is not None:
+                        return early
                 if self.executed >= self.max_instructions:
                     status = RunStatus.TIMEOUT
                     break

@@ -58,6 +58,10 @@ class Memory:
     def __init__(self, regions: list[Region] | None = None) -> None:
         self.regions = regions if regions is not None else default_regions()
         self._pages: dict[int, bytearray] = {}
+        #: copy-on-write backing (see :meth:`restore_pages`): immutable
+        #: pages shared with a checkpoint; a write materialises a
+        #: private ``bytearray`` copy into ``_pages`` first.
+        self._backing: dict[int, bytes] | None = None
         # Sorted region list for fast lookup; region count is tiny so a
         # linear scan is fine and avoids bisect bookkeeping.
         self._regions_sorted = sorted(self.regions, key=lambda r: r.base)
@@ -107,12 +111,23 @@ class Memory:
     # ------------------------------------------------------------------
     # raw byte access (no privilege checks; checks happen at the CPU)
     # ------------------------------------------------------------------
-    def _page_for(self, addr: int, create: bool) -> bytearray | None:
+    def _page_for(self, addr: int,
+                  create: bool) -> "bytearray | bytes | None":
         base = addr & ~_PAGE_MASK
         page = self._pages.get(base)
-        if page is None and create:
-            page = bytearray(_PAGE)
-            self._pages[base] = page
+        if page is None:
+            backing = self._backing
+            if backing is not None:
+                frozen = backing.get(base)
+                if frozen is not None:
+                    if not create:
+                        return frozen  # read-only view of the snapshot
+                    page = bytearray(frozen)
+                    self._pages[base] = page
+                    return page
+            if create:
+                page = bytearray(_PAGE)
+                self._pages[base] = page
         return page
 
     def read(self, addr: int, nbytes: int) -> bytes:
@@ -161,3 +176,39 @@ class Memory:
         """Copy a program's sections into memory."""
         for sec in sections:
             self.write(sec.base, bytes(sec.data))
+
+    # ------------------------------------------------------------------
+    # checkpoint support (see repro.uarch.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_pages(self) -> dict[int, bytes]:
+        """Immutable copy of every materialised page (for checkpoints)."""
+        pages: dict[int, bytes] = dict(self._backing) \
+            if self._backing else {}
+        for base, page in self._pages.items():
+            pages[base] = bytes(page)
+        return pages
+
+    def restore_pages(self, pages: dict[int, bytes]) -> None:
+        """Adopt a checkpoint's pages as copy-on-write backing.
+
+        *pages* is shared (many restores may alias one checkpoint) and
+        is never mutated: reads serve straight from the frozen bytes,
+        while the first write to a page copies it into the private
+        overlay.
+        """
+        self._backing = pages
+        self._pages = {}
+
+    def iter_pages(self):
+        """Yield ``(base, page_bytes)`` of the effective contents,
+        sorted by base address (overlay pages shadow the backing)."""
+        overlay = self._pages
+        backing = self._backing
+        if backing:
+            for base in sorted(backing.keys() | overlay.keys()):
+                page = overlay.get(base)
+                yield base, (page if page is not None
+                             else backing[base])
+        else:
+            for base in sorted(overlay):
+                yield base, overlay[base]

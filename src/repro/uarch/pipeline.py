@@ -256,6 +256,11 @@ class PipelineEngine:
         self._fetch_line = None
         self._fetch_line_base = -1
         self._fetch_line_tag = -1
+        #: optional checkpoint hook (see repro.uarch.snapshot): an
+        #: object with ``next_check`` (instruction count) and
+        #: ``poll(engine)``; polled at the top of the run loop, and a
+        #: non-None poll() return ends the run with that result.
+        self.fastpath = None
 
     # ------------------------------------------------------------------
     # crossing / fault bookkeeping
@@ -544,9 +549,19 @@ class PipelineEngine:
         fault_in_kernel = False
         have_faults = bool(self.faults)
         arch_probe = self.arch_probe
+        fastpath = self.fastpath
 
         try:
             while not ms.halted:
+                if fastpath is not None \
+                        and self.instructions >= fastpath.next_check:
+                    early = fastpath.poll(self)
+                    if early is not None:
+                        if registry.enabled:
+                            self._record_metrics(
+                                registry,
+                                time.perf_counter() - wall_started)
+                        return early
                 if self.instructions >= self.max_instructions \
                         or self.fetch_time > self.max_cycles:
                     status = RunStatus.TIMEOUT

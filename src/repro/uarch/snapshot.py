@@ -1,0 +1,702 @@
+"""Checkpoint/restore fast path for injection campaigns.
+
+Every injection run is, by construction, identical to the golden run
+up to the injection point; re-simulating that prefix is the dominant
+campaign cost (the redundancy fork-at-injection tools like ZOFI
+eliminate).  This module implements the golden-fork equivalent for
+deterministic simulators:
+
+* **capture/restore** — complete simulator state of either engine
+  (pipeline structures, renamed register file, LSQ, caches, branch
+  predictor, timing state, and memory via copy-on-write pages) can be
+  captured at an instruction boundary and restored into a fresh
+  engine, after which execution is bit-identical to an uninterrupted
+  run;
+
+* **checkpoint stores** — a fault-free *capture run* records a
+  checkpoint every ``interval`` instructions (plus a canonical state
+  digest per boundary and the final result).  Injectors restore the
+  nearest checkpoint at-or-before the injection point instead of
+  simulating from reset (:func:`prepare_pipeline_fastpath` /
+  :func:`prepare_functional_fastpath`);
+
+* **early Masked termination** — after every scheduled fault has been
+  applied, the engine compares its canonical digest against the golden
+  digest at each boundary.  The digest covers *all* state that can
+  influence future behaviour or the final result (including timing
+  state and instruction counters) and refuses to match while any
+  taint survives anywhere, so an early exit is only declared once the
+  run has provably reconverged onto the golden trajectory — the
+  remainder of the run is then synthesised from the capture run's own
+  final result, byte-identical to running it out.  This guard is what
+  keeps WOI/ESC semantics and FPM classification unchanged: a fault
+  whose corruption still lingers (in a register, a cache line, the
+  LSQ, or main memory — the ESC channel) can never exit early.
+
+Correctness invariants the digest relies on:
+
+* pipeline faults fire at the first top-of-loop where
+  ``spec.cycle <= fetch_time`` and ``fetch_time`` is strictly
+  increasing, so restoring any boundary with ``cycle <= spec.cycle``
+  preserves the firing point exactly;
+* dead state is excluded from the digest precisely where the engines
+  never read it back: FREE physical registers (always rewritten
+  before becoming readable), invalid cache lines/LSQ slots (fills and
+  allocations overwrite them), replacement metadata of invalid lines;
+* the fetch fast-path line reference is digested (and restored) as
+  its *effective* key — ``(-1, -1)`` whenever the cached line no
+  longer satisfies the fetch's coherence check, which is exactly the
+  condition under which the reference is unreachable.
+
+The fast path is controlled by ``REPRO_FASTPATH`` (truthy default)
+and the ``--no-fastpath`` CLI escape hatch; checkpoint density by
+``REPRO_CHECKPOINT_EVERY``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs.metrics import (FASTPATH_CYCLES_SKIPPED,
+                           FASTPATH_EARLY_EXITS,
+                           FASTPATH_INSTRUCTIONS_SAVED,
+                           FASTPATH_INSTRUCTIONS_SKIPPED,
+                           FASTPATH_RESTORES, get_registry)
+from .cache import Cache, Line
+from .functional import FaultAction, FuncResult, FunctionalEngine, RunStatus
+from .pipeline import PipelineEngine, PipelineResult
+
+#: bump on any change to the capture format or digest definition;
+#: invalidates every on-disk checkpoint store
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: default number of checkpoints per capture run
+TARGET_CHECKPOINTS = 16
+
+_FALSY = {"0", "false", "no", "off", ""}
+
+
+def fastpath_enabled(explicit: "bool | None" = None) -> bool:
+    """Resolve the fast-path switch: explicit flag > ``REPRO_FASTPATH``
+    environment variable > on by default."""
+    if explicit is not None:
+        return bool(explicit)
+    env = os.environ.get("REPRO_FASTPATH")
+    if env is None:
+        return True
+    return env.strip().lower() not in _FALSY
+
+
+def checkpoint_interval(total_instructions: int) -> int:
+    """Checkpoint spacing in instructions for a run of the given size
+    (``REPRO_CHECKPOINT_EVERY`` overrides)."""
+    env = os.environ.get("REPRO_CHECKPOINT_EVERY")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(64, total_instructions // TARGET_CHECKPOINTS)
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """One captured boundary of a fault-free run."""
+
+    instructions: int            # boundary position (retired instructions)
+    cycle: float                 # pipeline fetch_time (0.0 for functional)
+    counters: dict               # functional trigger counters at capture
+    digest: str                  # canonical state digest at this boundary
+    state: dict                  # engine-specific captured state
+
+
+@dataclass
+class CheckpointStore:
+    """All checkpoints of one (workload, config, engine-kind) capture."""
+
+    schema: int
+    engine: str                  # "pipeline"|"functional-sim"|"functional-host"
+    key: str                     # cache key the store was built under
+    interval: int
+    checkpoints: list = field(default_factory=list)
+    #: boundary instruction count -> golden digest (early-exit oracle)
+    digests: dict = field(default_factory=dict)
+    #: final-result fields of the capture run (synthesised on early exit)
+    final: dict = field(default_factory=dict)
+
+    def nearest_for_cycle(self, cycle: float) -> Checkpoint:
+        """Latest checkpoint captured at-or-before *cycle* (always at
+        least the initial-state checkpoint)."""
+        best = self.checkpoints[0]
+        for cp in self.checkpoints:
+            if cp.cycle <= cycle:
+                best = cp
+            else:
+                break
+        return best
+
+    def nearest_for_counter(self, kind: str, when: int) -> Checkpoint:
+        """Latest checkpoint whose *kind* trigger counter had not yet
+        passed *when* (so the scheduled action still fires)."""
+        best = self.checkpoints[0]
+        for cp in self.checkpoints:
+            if cp.counters.get(kind, 0) <= when:
+                best = cp
+            else:
+                break
+        return best
+
+
+# ---------------------------------------------------------------------------
+# canonical digests
+# ---------------------------------------------------------------------------
+def _fetch_key(engine: PipelineEngine) -> tuple:
+    """Effective fetch fast-path key: the cached line reference only
+    matters while it satisfies the fetch coherence check."""
+    line = engine._fetch_line
+    if line is not None and line.valid \
+            and line.tag == engine._fetch_line_tag:
+        return engine._fetch_line_base, engine._fetch_line_tag
+    return -1, -1
+
+
+def _digest_memory(memory, update) -> None:
+    for base, page in memory.iter_pages():
+        if not any(page):
+            continue  # all-zero pages equal never-touched pages
+        update(repr(("page", base)).encode())
+        update(bytes(page))
+
+
+def _digest_cache(cache: Cache, update) -> bool:
+    """Digest one cache level; False when any line is tainted."""
+    for index, ways in enumerate(cache.sets):
+        if not ways:
+            continue
+        shape = []
+        for line in ways:
+            if not line.valid:
+                shape.append(None)  # slot position matters, content dead
+                continue
+            if line.taint:
+                return False
+            shape.append((line.tag, line.dirty, line.lru))
+        update(repr((cache.name, index, shape)).encode())
+        for line in ways:
+            if line.valid:
+                update(bytes(line.data))
+    update(repr((cache.name, "tick", cache._tick)).encode())
+    return True
+
+
+def pipeline_digest(engine: PipelineEngine) -> "str | None":
+    """Canonical digest of everything that determines the run's future
+    (and its result counters); None while corrupted state survives."""
+    rf = engine.rf
+    if rf.tainted or engine.probe.mem_taint:
+        return None
+    h = hashlib.sha256()
+    u = h.update
+    ms = engine.ms
+    u(repr(("ms", ms.pc, ms.mode, ms.kepc, ms.halted,
+            ms.exit_code)).encode())
+    state = rf.state
+    values = rf.values
+    ready = engine.reg_ready
+    # FREE slots are dead state: unreadable until re-allocated, and
+    # every allocation's value/readiness is written before any read
+    u(repr(("rf",
+            [values[p] if state[p] else None
+             for p in range(rf.n_phys)],
+            [ready[p] if state[p] else None
+             for p in range(rf.n_phys)],
+            rf.rename_map, list(rf.free_list),
+            list(rf.pending_free), rf.live_count)).encode())
+    lsq = engine.lsq
+    entries = []
+    for e in lsq.entries:
+        if e.valid:
+            entries.append((e.is_store, e.addr, e.data, e.nbytes,
+                            bytes(e.old_data), e.dest_phys,
+                            e.alloc_cycle, e.commit_cycle, e.in_kernel))
+        else:
+            entries.append(None)
+    u(repr(("lsq", entries, lsq._next, lsq.valid_count)).encode())
+    for cache in (engine.l2, engine.l1i, engine.l1d):
+        if not _digest_cache(cache, u):
+            return None
+    pred = engine.predictor
+    u(repr(("pred", pred.counters, pred.btb)).encode())
+    u(repr(("timing", engine.fetch_time, engine.last_commit,
+            list(engine.rob_commits), list(engine.iq_issues),
+            sorted((k, v) for k, v in engine.fu.items()))).encode())
+    u(repr(("counts", engine.instructions,
+            engine.kernel_instructions)).encode())
+    u(repr(("fetch", _fetch_key(engine))).encode())
+    _digest_memory(engine.memory, u)
+    return h.hexdigest()
+
+
+def functional_digest(engine: FunctionalEngine) -> str:
+    """Canonical digest of a functional engine's complete state."""
+    h = hashlib.sha256()
+    u = h.update
+    ms = engine.ms
+    u(repr(("ms", ms.pc, ms.mode, ms.kepc, ms.halted,
+            ms.exit_code)).encode())
+    u(repr(("regs", engine.regs)).encode())
+    u(b"host-output")
+    u(bytes(engine._host_output))
+    _digest_memory(engine.memory, u)
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# capture / restore: pipeline
+# ---------------------------------------------------------------------------
+def _intern_bytes(value: bytes, intern: "dict | None") -> bytes:
+    if intern is None:
+        return value
+    return intern.setdefault(value, value)
+
+
+def capture_pipeline(engine: PipelineEngine,
+                     intern: "dict | None" = None) -> dict:
+    """Capture complete pipeline state at a top-of-loop boundary.
+
+    *intern* (optional) dedups identical byte blobs (pages, cache
+    lines) across the checkpoints of one store.
+    """
+    ms = engine.ms
+    rf = engine.rf
+    lsq = engine.lsq
+    pages = {base: _intern_bytes(data, intern)
+             for base, data in engine.memory.snapshot_pages().items()}
+    caches = {}
+    for name in ("l2", "l1i", "l1d"):
+        cache: Cache = getattr(engine, name)
+        sets = {}
+        for index, ways in enumerate(cache.sets):
+            if not ways:
+                continue
+            sets[index] = [
+                (line.tag, line.dirty,
+                 _intern_bytes(bytes(line.data), intern), line.lru,
+                 tuple(sorted(line.taint)) if line.taint else None)
+                if line.valid else None
+                for line in ways]
+        caches[name] = (sets, cache._tick, cache.hits, cache.misses,
+                        cache.writebacks, cache.valid_lines)
+    pred = engine.predictor
+    return {
+        "ms": (ms.pc, ms.mode, ms.kepc, ms.halted, ms.exit_code),
+        "pages": pages,
+        "rf": (list(rf.values), list(rf.state), list(rf.rename_map),
+               list(rf.free_list), list(rf.pending_free),
+               sorted(rf.tainted), rf.live_count),
+        "lsq": ([(e.valid, e.is_store, e.addr, e.data, e.nbytes,
+                  bytes(e.old_data), e.dest_phys, e.alloc_cycle,
+                  e.commit_cycle, e.in_kernel) for e in lsq.entries],
+                lsq._next, lsq.valid_count),
+        "caches": caches,
+        "pred": (list(pred.counters), list(pred.btb), pred.lookups,
+                 pred.mispredicts),
+        "timing": (engine.fetch_time, engine.last_commit,
+                   list(engine.reg_ready), list(engine.rob_commits),
+                   list(engine.iq_issues),
+                   {k: list(v) for k, v in engine.fu.items()}),
+        "counts": (engine.instructions, engine.kernel_instructions),
+        "fetch": _fetch_key(engine),
+        "probe": sorted(engine.probe.mem_taint),
+    }
+
+
+def _restore_cache(cache: Cache, state: tuple) -> None:
+    sets, tick, hits, misses, writebacks, valid_lines = state
+    cache.sets = [[] for _ in range(cache.n_sets)]
+    for index, ways in sets.items():
+        dst = cache.sets[index]
+        for entry in ways:
+            line = Line(cache.line_size)
+            if entry is not None:
+                tag, dirty, data, lru, taint = entry
+                line.tag = tag
+                line.valid = True
+                line.dirty = dirty
+                line.data[:] = data
+                line.lru = lru
+                line.taint = set(taint) if taint else None
+            dst.append(line)
+    cache._tick = tick
+    cache.hits = hits
+    cache.misses = misses
+    cache.writebacks = writebacks
+    cache.valid_lines = valid_lines
+
+
+def restore_pipeline(engine: PipelineEngine, state: dict) -> None:
+    """Restore a :func:`capture_pipeline` state into a fresh engine.
+
+    Fault machinery (scheduled faults, crossing state) and observer
+    hooks are deliberately untouched: the restored engine continues
+    exactly as the capture engine would, with whatever faults the
+    caller scheduled still pending.
+    """
+    from collections import deque
+
+    ms = engine.ms
+    (ms.pc, ms.mode, ms.kepc, ms.halted, ms.exit_code) = state["ms"]
+    engine.memory.restore_pages(state["pages"])
+    rf = engine.rf
+    (values, rstate, rename, free, pending, tainted,
+     live_count) = state["rf"]
+    rf.values = list(values)
+    rf.state = list(rstate)
+    rf.rename_map = list(rename)
+    rf.free_list = deque(free)
+    rf.pending_free = deque(pending)
+    rf.tainted = set(tainted)
+    rf.live_count = live_count
+    entries, nxt, valid_count = state["lsq"]
+    lsq = engine.lsq
+    for entry, fields in zip(lsq.entries, entries):
+        (entry.valid, entry.is_store, entry.addr, entry.data,
+         entry.nbytes, entry.old_data, entry.dest_phys,
+         entry.alloc_cycle, entry.commit_cycle,
+         entry.in_kernel) = fields
+    lsq._next = nxt
+    lsq.valid_count = valid_count
+    for name in ("l2", "l1i", "l1d"):
+        _restore_cache(getattr(engine, name), state["caches"][name])
+    pred = engine.predictor
+    counters, btb, lookups, mispredicts = state["pred"]
+    pred.counters = list(counters)
+    pred.btb = list(btb)
+    pred.lookups = lookups
+    pred.mispredicts = mispredicts
+    (engine.fetch_time, engine.last_commit, reg_ready, rob, iq,
+     fu) = state["timing"]
+    engine.reg_ready = list(reg_ready)
+    engine.rob_commits = deque(rob)
+    engine.iq_issues = deque(iq)
+    engine.fu = {k: list(v) for k, v in fu.items()}
+    engine.instructions, engine.kernel_instructions = state["counts"]
+    base, tag = state["fetch"]
+    engine._fetch_line_base = base
+    engine._fetch_line_tag = tag
+    engine._fetch_line = None
+    if base != -1:
+        index, _ = engine.l1i._index_tag(base)
+        engine._fetch_line = engine.l1i._find(index, tag)
+    engine.probe.mem_taint = set(state["probe"])
+    engine.probe.any_taint = bool(engine.probe.mem_taint)
+    # per-instruction transients are dead at a boundary
+    engine.dest_phys = -1
+    engine.src_vals = {}
+    engine.mem_latency = 0
+    engine.pending_mem = None
+
+
+# ---------------------------------------------------------------------------
+# capture / restore: functional
+# ---------------------------------------------------------------------------
+def capture_functional(engine: FunctionalEngine,
+                       intern: "dict | None" = None) -> dict:
+    ms = engine.ms
+    pages = {base: _intern_bytes(data, intern)
+             for base, data in engine.memory.snapshot_pages().items()}
+    return {
+        "ms": (ms.pc, ms.mode, ms.kepc, ms.halted, ms.exit_code),
+        "regs": list(engine.regs),
+        "pages": pages,
+        "executed": engine.executed,
+        "counters": dict(engine._counters),
+        "last_dest": engine.last_dest,
+        "host_output": bytes(engine._host_output),
+    }
+
+
+def restore_functional(engine: FunctionalEngine, state: dict) -> None:
+    ms = engine.ms
+    (ms.pc, ms.mode, ms.kepc, ms.halted, ms.exit_code) = state["ms"]
+    engine.regs = list(state["regs"])
+    engine.memory.restore_pages(state["pages"])
+    engine.executed = state["executed"]
+    engine._counters = dict(state["counters"])
+    engine.last_dest = state["last_dest"]
+    engine._host_output = bytearray(state["host_output"])
+
+
+# ---------------------------------------------------------------------------
+# capture hooks (installed as engine.fastpath during capture runs)
+# ---------------------------------------------------------------------------
+class _PipelineCapture:
+    """Capture a checkpoint at every boundary; never exits early."""
+
+    def __init__(self, interval: int) -> None:
+        self.interval = interval
+        self.next_check = 0
+        self.checkpoints: list = []
+        self.digests: dict = {}
+        self._intern: dict = {}
+
+    def poll(self, engine: PipelineEngine):
+        digest = pipeline_digest(engine)
+        assert digest is not None, "capture runs are fault-free"
+        self.checkpoints.append(Checkpoint(
+            instructions=engine.instructions,
+            cycle=engine.fetch_time,
+            counters={},
+            digest=digest,
+            state=capture_pipeline(engine, self._intern)))
+        self.digests[engine.instructions] = digest
+        self.next_check = engine.instructions + self.interval
+        return None
+
+
+class _FunctionalCapture:
+    def __init__(self, interval: int) -> None:
+        self.interval = interval
+        self.next_check = 0
+        self.checkpoints: list = []
+        self.digests: dict = {}
+        self._intern: dict = {}
+
+    def poll(self, engine: FunctionalEngine):
+        digest = functional_digest(engine)
+        self.checkpoints.append(Checkpoint(
+            instructions=engine.executed,
+            cycle=0.0,
+            counters=dict(engine._counters),
+            digest=digest,
+            state=capture_functional(engine, self._intern)))
+        self.digests[engine.executed] = digest
+        self.next_check = engine.executed + self.interval
+        return None
+
+
+# ---------------------------------------------------------------------------
+# early-exit hooks (installed as engine.fastpath during injection runs)
+# ---------------------------------------------------------------------------
+class _PipelineFastPath:
+    """Early Masked termination against the golden digest trace."""
+
+    __slots__ = ("store", "next_check")
+
+    def __init__(self, store: CheckpointStore, start: int) -> None:
+        self.store = store
+        self.next_check = start
+
+    def poll(self, engine: PipelineEngine):
+        store = self.store
+        self.next_check = engine.instructions + store.interval
+        if engine._next_fault < len(engine.faults):
+            return None  # convergence guard: fault not yet applied
+        expect = store.digests.get(engine.instructions)
+        if expect is None or pipeline_digest(engine) != expect:
+            return None
+        final = store.final
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(FASTPATH_EARLY_EXITS).inc()
+            registry.counter(FASTPATH_INSTRUCTIONS_SAVED).inc(
+                final["instructions"] - engine.instructions)
+        return PipelineResult(
+            status=RunStatus.COMPLETED,
+            output=final["output"],
+            exit_code=final["exit_code"],
+            cycles=final["cycles"],
+            instructions=final["instructions"],
+            kernel_instructions=final["kernel_instructions"],
+            fault_applied=engine.fault_applied,
+            fault_live=engine.fault_live,
+            crossing=engine.crossing,
+        )
+
+
+class _FunctionalFastPath:
+    __slots__ = ("store", "next_check")
+
+    def __init__(self, store: CheckpointStore, start: int) -> None:
+        self.store = store
+        self.next_check = start
+
+    def poll(self, engine: FunctionalEngine):
+        store = self.store
+        self.next_check = engine.executed + store.interval
+        counters = engine._counters
+        for action in engine._actions:
+            if counters[action.counter] <= action.when:
+                return None  # convergence guard: action still pending
+        expect = store.digests.get(engine.executed)
+        if expect is None or functional_digest(engine) != expect:
+            return None
+        final = store.final
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(FASTPATH_EARLY_EXITS).inc()
+            registry.counter(FASTPATH_INSTRUCTIONS_SAVED).inc(
+                final["instructions"] - engine.executed)
+        return FuncResult(
+            status=RunStatus.COMPLETED,
+            output=final["output"],
+            exit_code=final["exit_code"],
+            instructions=final["instructions"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# capture drivers
+# ---------------------------------------------------------------------------
+def build_pipeline_store(image_factory, config, max_instructions: int,
+                         max_cycles: float, interval: int,
+                         key: str = "") -> CheckpointStore:
+    """Run the fault-free capture run and collect every checkpoint.
+
+    *image_factory* builds a fresh :class:`SystemImage`; the limits
+    must equal the ones injection runs will use, so the captured state
+    trajectory is identical to every injection run's pre-fault prefix.
+    """
+    engine = PipelineEngine(image_factory(), config,
+                            max_instructions=max_instructions,
+                            max_cycles=max_cycles)
+    hook = _PipelineCapture(interval)
+    engine.fastpath = hook
+    result = engine.run()
+    if result.status is not RunStatus.COMPLETED:
+        raise RuntimeError(
+            f"pipeline capture run did not complete: {result.status}")
+    return CheckpointStore(
+        schema=SNAPSHOT_SCHEMA_VERSION, engine="pipeline", key=key,
+        interval=interval, checkpoints=hook.checkpoints,
+        digests=hook.digests,
+        final={"output": result.output, "exit_code": result.exit_code,
+               "cycles": result.cycles,
+               "instructions": result.instructions,
+               "kernel_instructions": result.kernel_instructions})
+
+
+def build_functional_store(image_factory, kernel: str,
+                           max_instructions: int, interval: int,
+                           key: str = "") -> CheckpointStore:
+    """Capture run for the functional engine (``sim`` or ``host``).
+
+    A never-firing dummy action is scheduled so the trigger counters
+    advance exactly as they do in injection runs (the engine only
+    counts trigger streams while actions are scheduled).
+    """
+    engine = FunctionalEngine(image_factory(), kernel=kernel,
+                              max_instructions=max_instructions)
+    engine.schedule(FaultAction("commit", -1, lambda _engine: None))
+    hook = _FunctionalCapture(interval)
+    engine.fastpath = hook
+    result = engine.run()
+    if result.status is not RunStatus.COMPLETED:
+        raise RuntimeError(
+            f"functional capture run ({kernel}) did not complete: "
+            f"{result.status}")
+    return CheckpointStore(
+        schema=SNAPSHOT_SCHEMA_VERSION, engine=f"functional-{kernel}",
+        key=key, interval=interval, checkpoints=hook.checkpoints,
+        digests=hook.digests,
+        final={"output": result.output, "exit_code": result.exit_code,
+               "instructions": result.instructions})
+
+
+# ---------------------------------------------------------------------------
+# injector entry points
+# ---------------------------------------------------------------------------
+def prepare_pipeline_fastpath(engine: PipelineEngine,
+                              store: CheckpointStore) -> Checkpoint:
+    """Restore the nearest checkpoint before the engine's earliest
+    scheduled fault and install the early-exit hook."""
+    cycle = min(f.cycle for f in engine.faults) if engine.faults \
+        else float("inf")
+    cp = store.nearest_for_cycle(cycle)
+    restore_pipeline(engine, cp.state)
+    engine.fastpath = _PipelineFastPath(store, cp.instructions)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(FASTPATH_RESTORES).inc()
+        registry.counter(FASTPATH_CYCLES_SKIPPED).inc(int(cp.cycle))
+        registry.counter(FASTPATH_INSTRUCTIONS_SKIPPED).inc(
+            cp.instructions)
+    return cp
+
+
+def prepare_functional_fastpath(engine: FunctionalEngine,
+                                store: CheckpointStore) -> Checkpoint:
+    """Restore the nearest checkpoint before the earliest scheduled
+    action's trigger and install the early-exit hook."""
+    cp = store.checkpoints[0]
+    for action in engine._actions:
+        cand = store.nearest_for_counter(action.counter, action.when)
+        if cand.instructions < cp.instructions or cp is None:
+            cp = cand
+    # (single-action engines — the normal case — pick its checkpoint;
+    # with several actions the earliest-restoring one wins)
+    if engine._actions:
+        cps = [store.nearest_for_counter(a.counter, a.when)
+               for a in engine._actions]
+        cp = min(cps, key=lambda c: c.instructions)
+    restore_functional(engine, cp.state)
+    engine.fastpath = _FunctionalFastPath(store, cp.instructions)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(FASTPATH_RESTORES).inc()
+        registry.counter(FASTPATH_INSTRUCTIONS_SKIPPED).inc(
+            cp.instructions)
+    return cp
+
+
+# ---------------------------------------------------------------------------
+# on-disk persistence (pickle; validated by schema + key on load)
+# ---------------------------------------------------------------------------
+def save_store(path: "Path | str", store: CheckpointStore) -> None:
+    """Atomically persist a store; best-effort (an unwritable cache
+    directory degrades to rebuilding per process, never to failure)."""
+    path = Path(path)
+    try:
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=path.name + ".")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(store, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass
+
+
+def load_store(path: "Path | str",
+               key: str) -> "CheckpointStore | None":
+    """Load a persisted store; None (and unlink) on any mismatch."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            store = pickle.load(fh)
+    except OSError:
+        return None
+    except Exception:
+        path.unlink(missing_ok=True)
+        return None
+    if not isinstance(store, CheckpointStore) \
+            or store.schema != SNAPSHOT_SCHEMA_VERSION \
+            or store.key != key or not store.checkpoints:
+        path.unlink(missing_ok=True)
+        return None
+    return store

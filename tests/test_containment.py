@@ -198,6 +198,76 @@ class TestEngineFailFast:
 
 
 # ---------------------------------------------------------------------------
+# the checkpoint fast path preserves the containment contract
+# ---------------------------------------------------------------------------
+from pathlib import Path  # noqa: E402
+
+BOUNDARY_CORPUS = sorted(
+    (Path(__file__).parent / "corpus").glob("*checkpoint-boundary*"))
+
+
+class TestFastPathContainment:
+    """Checkpoint restore must not weaken containment: escapes through
+    a restored engine still carry ``(seed, index)``, and the
+    checkpoint-boundary corpus classifies identically on both paths."""
+
+    @pytest.mark.parametrize("path", BOUNDARY_CORPUS,
+                             ids=[p.stem for p in BOUNDARY_CORPUS])
+    def test_boundary_case_fast_slow_agree(self, path):
+        from repro.fuzz import FuzzCase
+        from repro.uarch.config import config_by_name
+
+        case = FuzzCase.from_json(json.loads(path.read_text())["case"])
+        golden = golden_run(case.workload, case.config_name)
+        config = config_by_name(case.config_name)
+        slow = run_one_injection(case.workload, config,
+                                 case.fault_spec(), golden,
+                                 fastpath=False)
+        fast = run_one_injection(case.workload, config,
+                                 case.fault_spec(), golden,
+                                 fastpath=True)
+        assert slow == fast
+        assert fast.outcome in ("masked", "sdc", "crash", "detected")
+
+    def test_escape_through_restore_carries_seed_index(self,
+                                                       monkeypatch):
+        import repro.injectors.campaign as campaign_mod
+        import repro.uarch.pipeline as pipeline_mod
+
+        monkeypatch.setattr(
+            pipeline_mod, "fold_coordinates",
+            lambda engine, spec: (spec.a, spec.b,
+                                  getattr(spec, "c", 0)))
+        # mid-run cycle: the fast path restores a non-initial
+        # checkpoint before the wild flip detonates
+        wild = FaultSpec("RF", 3000.0, a=10**6, b=3)
+        monkeypatch.setattr(campaign_mod, "sample_uniform",
+                            lambda *args, **kwargs: wild)
+        with pytest.raises(ContainmentError) as info:
+            campaign_mod._one_gefin((WORKLOAD, CONFIG, "RF", 11, 4,
+                                     False, False, True))
+        context = info.value.context
+        assert context["seed"] == 11
+        assert context["index"] == 4
+        assert context["fastpath"] is True
+        assert context["structure"] == "RF"
+        assert context["a"] == 10**6
+
+    def test_wild_specs_agree_across_paths(self):
+        # the folding guard holds on a restored engine, too
+        from repro.uarch.config import config_by_name
+
+        golden = golden_run(WORKLOAD, CONFIG)
+        config = config_by_name(CONFIG)
+        for spec in WILD_SPECS:
+            slow = run_one_injection(WORKLOAD, config, spec, golden,
+                                     fastpath=False)
+            fast = run_one_injection(WORKLOAD, config, spec, golden,
+                                     fastpath=True)
+            assert slow == fast, spec
+
+
+# ---------------------------------------------------------------------------
 # property: random instruction words classify in both models
 # ---------------------------------------------------------------------------
 def _random_words(n, seed):

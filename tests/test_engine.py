@@ -238,7 +238,7 @@ class TestCampaignResume:
         resumed = run_campaign("crc32", "cortex-a72", **self.ARGS)
         assert final.read_bytes() == expected
         # only the lost shard (run indices 2 and 3) was recomputed
-        assert [t[-2] for t in calls] == [2, 3]
+        assert [t[3] for t in calls] == [2, 3]
         assert [r.outcome for r in resumed.results] == \
             [r.outcome
              for r in CampaignResult.from_json(

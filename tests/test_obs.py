@@ -217,7 +217,7 @@ class TestTracing:
         trace, result = trace_fault("sha", "cortex-a72", "RF", 7,
                                     index=0)
         campaign = _one_gefin(("sha", "cortex-a72", "RF", 7, 0,
-                               False, True))
+                               False, True, True))
         assert result == campaign
         assert trace.outcome == campaign.outcome
         assert trace.fpm == campaign.fpm
