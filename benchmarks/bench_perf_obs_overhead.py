@@ -1,0 +1,72 @@
+"""Residency-profiler overhead gate (<5% on a profiled campaign).
+
+The profiler samples pipeline state every ``every`` instructions on
+the **one** fault-free golden run per campaign; injection runs are
+never profiled.  This bench times the same campaign with
+``REPRO_PROFILE`` off and on (cold caches both times so each pays the
+full simulation), asserts the result streams are byte-identical, and
+gates the wall-clock overhead below 5%.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from bench_common import emit
+
+from repro.injectors.campaign import run_campaign
+from repro.injectors.golden import cache_dir
+from repro.obs import profiles
+
+WORKLOAD = "crc32"
+CONFIG = "cortex-a72"
+N = 24
+
+#: the acceptance gate from the observability issue
+MAX_OVERHEAD = 0.05
+
+
+def _campaign(profile: bool):
+    # pay the full profiling cost inside the timed window: no warm
+    # in-process memo, no pre-existing disk sidecar to short-circuit
+    profiles.profile_golden_run.cache_clear()
+    for sidecar in cache_dir().glob("profile-campaign-*.json"):
+        sidecar.unlink()
+    os.environ["REPRO_PROFILE"] = "1" if profile else "0"
+    try:
+        started = time.perf_counter()
+        campaign = run_campaign(WORKLOAD, CONFIG, injector="gefin",
+                                structure="RF", n=N, seed=2026,
+                                use_cache=False, workers=1,
+                                fastpath=False)
+        return campaign, time.perf_counter() - started
+    finally:
+        os.environ.pop("REPRO_PROFILE", None)
+
+
+def test_perf_profiler_overhead():
+    _campaign(profile=False)                  # warm golden caches
+    plain, t_plain = _campaign(profile=False)
+    profiled, t_profiled = _campaign(profile=True)
+
+    # profiling must be read-only: same results, byte for byte
+    assert profiled.to_json() == plain.to_json()
+
+    overhead = (t_profiled - t_plain) / t_plain if t_plain else 0.0
+    profile = profiles.profile_golden_run(WORKLOAD, CONFIG)
+
+    lines = [
+        f"profiler overhead  {WORKLOAD}@{CONFIG}/RF n={N} "
+        f"(sample every {profile.every} instructions)",
+        "-" * 64,
+        f"REPRO_PROFILE=0 campaign  {t_plain:8.2f} s",
+        f"REPRO_PROFILE=1 campaign  {t_profiled:8.2f} s",
+        f"overhead                  {100 * overhead:8.2f} %"
+        f"  (gate: <{100 * MAX_OVERHEAD:.0f}%)",
+        f"profile samples           {profile.samples:8d}  "
+        f"({len(profile.occupancy)} structures, "
+        f"{profile.n_phases} phases x {profile.n_regions} regions)",
+    ]
+    emit("perf_obs_overhead", "\n".join(lines))
+    assert overhead < MAX_OVERHEAD

@@ -23,7 +23,13 @@ Commands
     flip's life story next to the instruction trace.
 ``report [EVENTS]``
     Aggregate an events.jsonl log into a text dashboard (outcome mix,
-    throughput, visibility-latency percentiles, retry hot spots).
+    throughput, visibility-latency percentiles, retry hot spots);
+    ``--json`` emits the same aggregation machine-readably.
+``dashboard``
+    Cross-layer vulnerability map from cached campaign sidecars:
+    structure x phase heatmaps, FPM mix, AVF/PVF/SVF/rPVF divergence
+    with opposite-direction flags; ``--html`` writes a
+    self-contained HTML file.  Never re-simulates.
 ``study``
     Cross-layer comparison over a workload set (mini Fig. 4/Table III).
 ``casestudy WORKLOAD``
@@ -254,18 +260,43 @@ def _instruction_window(args, trace) -> str:
 
 
 def _cmd_report(args) -> int:
+    import json
     from pathlib import Path
 
     from .injectors.golden import cache_dir
-    from .obs.reporting import load_events, render_report
+    from .obs.reporting import load_events, render_report, report_data
 
-    path = Path(args.events) if args.events \
+    path = args.events if args.events \
         else cache_dir() / "events.jsonl"
-    if not path.exists():
+    if str(path) != "-" and not Path(path).exists():
         print(f"no event log at {path} (set REPRO_EVENT_LOG or run "
               f"a campaign first)")
         return 1
-    print(render_report(load_events(path), limit=args.limit))
+    if args.json:
+        print(json.dumps(report_data(load_events(path)), indent=2))
+    else:
+        print(render_report(load_events(path), limit=args.limit))
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from .injectors.golden import cache_dir
+    from .obs.dashboard import (build_dashboard, render_dashboard,
+                                render_html)
+
+    events = args.events if args.events \
+        else cache_dir() / "events.jsonl"
+    data = build_dashboard(cache_path=args.cache,
+                           events_path=events,
+                           n_phases=args.phases,
+                           n_regions=args.regions)
+    color = sys.stdout.isatty() if args.color is None else args.color
+    print(render_dashboard(data, color=color))
+    if args.html:
+        from pathlib import Path
+
+        Path(args.html).write_text(render_html(data))
+        print(f"\nwrote {args.html}", file=sys.stderr)
     return 0
 
 
@@ -475,11 +506,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report",
                        help="dashboard from a campaign event log")
     p.add_argument("events", nargs="?", default=None,
-                   help="events.jsonl path (default: the cache "
-                        "directory's log)")
+                   help="events.jsonl path, '-' for stdin, or a "
+                        ".gz log (default: the cache directory's "
+                        "log)")
     p.add_argument("--limit", type=int, default=20,
                    help="campaigns to show in detail tables")
+    p.add_argument("--json", action="store_true",
+                   help="emit the aggregated stats as JSON instead "
+                        "of text")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="cross-layer vulnerability map from cached campaigns")
+    p.add_argument("--cache", default=None,
+                   help="campaign cache directory (default: "
+                        "REPRO_CACHE_DIR)")
+    p.add_argument("--events", default=None,
+                   help="events.jsonl path, '-' for stdin, or a "
+                        ".gz log (default: the cache directory's "
+                        "log; skipped when absent)")
+    p.add_argument("--html", metavar="FILE", default=None,
+                   help="also write a self-contained HTML dashboard")
+    p.add_argument("--phases", type=int, default=8,
+                   help="program-phase windows (default 8)")
+    p.add_argument("--regions", type=int, default=4,
+                   help="bit regions per structure entry (default 4)")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--color", action="store_const", const=True,
+                       default=None,
+                       help="force ANSI colour on")
+    group.add_argument("--no-color", dest="color",
+                       action="store_const", const=False,
+                       help="force ANSI colour off")
+    p.set_defaults(func=_cmd_dashboard)
 
     p = sub.add_parser("trace", help="dynamic instruction trace")
     common(p)

@@ -4,6 +4,8 @@
 * :mod:`~repro.core.weighting` — size-weighted AVF / FPM / FIT.
 * :mod:`~repro.core.rpvf` — the refined PVF analysis.
 * :mod:`~repro.core.compare` — opposite-trend analyses (Table III).
+* :mod:`~repro.core.divergence` — cross-layer divergence analytics
+  over already-computed campaigns (feeds ``repro dashboard``).
 * :mod:`~repro.core.stack` — the system vulnerability stack, measured.
 * :mod:`~repro.core.casestudy` — the fault-tolerance case study.
 * :mod:`~repro.core.report` — text rendering of tables and figures.
@@ -19,6 +21,15 @@ from .compare import (
     effect_disagreements,
     opposite_pairs,
     total_pairs,
+)
+from .divergence import (
+    DivergenceReport,
+    DivergenceRow,
+    LayerMeasurement,
+    PairScore,
+    analyze_divergence,
+    build_rows,
+    gefin_structure_rows,
 )
 from .report import (
     render_bar_chart,
@@ -45,20 +56,27 @@ __all__ = [
     "ace_analysis",
     "CaseStudyResult",
     "CrossLayerStudy",
+    "DivergenceReport",
+    "DivergenceRow",
     "FIT_PER_BIT",
     "Layer",
+    "LayerMeasurement",
     "LayerPair",
     "MethodComparison",
     "PairDisagreement",
+    "PairScore",
     "RPVFResult",
     "StackDecomposition",
     "StudyScale",
     "WeightedVulnerability",
+    "analyze_divergence",
+    "build_rows",
     "compare_methods",
     "count_opposite_pairs",
     "decompose",
     "effect_disagreements",
     "fit_rates",
+    "gefin_structure_rows",
     "fpm_distribution",
     "opposite_pairs",
     "refine_pvf",

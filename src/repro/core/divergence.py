@@ -1,0 +1,291 @@
+"""Cross-layer divergence analytics: AVF vs PVF vs SVF vs rPVF.
+
+The dashboard's analytical core.  Given a bag of *already-computed*
+:class:`~repro.injectors.campaign.CampaignResult` objects (typically
+every ``campaign-*.json`` sidecar in the cache directory), this
+module assembles, per (workload, core, hardened):
+
+* the layer vulnerabilities the paper compares — ground-truth **AVF**
+  (size-weighted over the gefin structure campaigns), **PVF** (the
+  WD architecture-level campaign), **SVF** (the LLFI-style software
+  campaign) and **rPVF** (the FPM-weighted refinement of §V) — each
+  with its statistical margin of error;
+* automatic **opposite-direction pair detection** in the style of
+  Table III: benchmark pairs that two layers order oppositely; and
+* a **miscorrelation ranking** of layer pairs, scoring how badly
+  each lower-layer proxy tracks the layer it is compared against.
+
+Everything here is pure aggregation — no simulation is ever run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..injectors.campaign import CampaignResult
+from ..uarch.config import STRUCTURES, config_by_name
+from .compare import opposite_pairs
+from .rpvf import refine_pvf
+from .weighting import weighted_fpm_rates, weighted_vulnerability
+
+#: layer order of the divergence table (ground truth first)
+METHODS = ("AVF", "PVF", "SVF", "rPVF")
+
+
+@dataclass(frozen=True)
+class LayerMeasurement:
+    """One layer's vulnerability estimate with its error margin."""
+
+    value: float
+    margin: float          # NaN when no margin is computable
+    dominant_effect: str   # "sdc" or "crash"
+    runs: int
+
+    def label(self) -> str:
+        if math.isnan(self.margin):
+            return f"{100 * self.value:.2f}%"
+        return f"{100 * self.value:.2f}% +/-{100 * self.margin:.2f}%"
+
+
+@dataclass
+class DivergenceRow:
+    """All layer measurements of one (workload, core, hardened)."""
+
+    workload: str
+    config_name: str
+    hardened: bool
+    #: method name -> LayerMeasurement (absent methods are missing)
+    layers: dict = field(default_factory=dict)
+    #: gefin structures backing the AVF figure (completeness check)
+    structures: list = field(default_factory=list)
+    #: method pairs in which this row participates in an opposite-
+    #: direction disagreement (filled by analyze_divergence)
+    flags: set = field(default_factory=set)
+
+    @property
+    def key(self) -> tuple:
+        return (self.config_name, self.hardened)
+
+    @property
+    def label(self) -> str:
+        return (f"{self.workload}@{self.config_name}"
+                f"{'+ft' if self.hardened else ''}")
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """How badly two layers track each other across workloads."""
+
+    method_a: str
+    method_b: str
+    opposite: int          # opposite-direction benchmark pairs
+    pairs: int             # benchmark pairs considered
+    mean_gap: float        # mean |value_a - value_b| over workloads
+    score: float           # ranking key (higher = worse correlation)
+
+    @property
+    def label(self) -> str:
+        return f"{self.method_a} vs {self.method_b}"
+
+
+@dataclass
+class DivergenceReport:
+    """The full cross-layer divergence analysis of a campaign bag."""
+
+    rows: list = field(default_factory=list)
+    #: "(A vs B)@config" -> list[compare.PairDisagreement]
+    disagreements: dict = field(default_factory=dict)
+    #: layer pairs ranked worst-correlated first
+    ranking: list = field(default_factory=list)
+
+    def opposite_count(self) -> int:
+        return sum(len(v) for v in self.disagreements.values())
+
+
+def _margin_weighted(per_structure: dict, config) -> float:
+    """Size-weighted margin of a weighted-AVF figure.
+
+    A conservative linear combination: the weighted sum of the
+    per-structure margins, matching how the point estimate itself is
+    combined (independent campaigns would allow a root-sum-square,
+    but the linear form never understates the uncertainty).
+    """
+    weights = config.structure_weights()
+    total = 0.0
+    for structure, campaign in per_structure.items():
+        margin = campaign.margin()
+        if math.isnan(margin):
+            return math.nan
+        total += weights[structure] * margin
+    return total
+
+
+def _dominant(campaign: CampaignResult) -> str:
+    return "sdc" if campaign.sdc() >= campaign.crash() else "crash"
+
+
+def build_rows(campaigns: list) -> list:
+    """Group campaigns into per-(workload, core, hardened) rows.
+
+    Hardened/baseline variants and different cores become separate
+    rows; campaigns with the same target but different ``n`` or
+    ``seed`` keep the largest-n one (best statistics).
+    """
+    groups: dict = {}
+    for campaign in campaigns:
+        key = (campaign.workload, campaign.config_name,
+               campaign.hardened)
+        groups.setdefault(key, []).append(campaign)
+
+    rows = []
+    for (workload, config_name, hardened), bag in sorted(groups.items()):
+        config = config_by_name(config_name)
+
+        def best(selection: dict, slot, campaign) -> None:
+            cur = selection.get(slot)
+            if cur is None or len(campaign.results) > len(cur.results):
+                selection[slot] = campaign
+
+        gefin: dict = {}
+        pvf: dict = {}
+        svf: dict = {}
+        for campaign in bag:
+            if campaign.injector == "gefin" and campaign.structure:
+                best(gefin, campaign.structure, campaign)
+            elif campaign.injector == "pvf" and campaign.model:
+                best(pvf, campaign.model, campaign)
+            elif campaign.injector == "svf":
+                best(svf, "svf", campaign)
+
+        row = DivergenceRow(workload=workload,
+                            config_name=config_name,
+                            hardened=hardened,
+                            structures=sorted(gefin))
+        if gefin:
+            weighted = weighted_vulnerability(gefin, config)
+            row.layers["AVF"] = LayerMeasurement(
+                value=weighted.total,
+                margin=_margin_weighted(gefin, config),
+                dominant_effect=weighted.dominant_effect,
+                runs=sum(len(c.results) for c in gefin.values()))
+        if "WD" in pvf:
+            campaign = pvf["WD"]
+            row.layers["PVF"] = LayerMeasurement(
+                value=campaign.vulnerability(),
+                margin=campaign.margin(),
+                dominant_effect=_dominant(campaign),
+                runs=len(campaign.results))
+        if "svf" in svf:
+            campaign = svf["svf"]
+            row.layers["SVF"] = LayerMeasurement(
+                value=campaign.vulnerability(),
+                margin=campaign.margin(),
+                dominant_effect=_dominant(campaign),
+                runs=len(campaign.results))
+        if gefin and all(m in pvf for m in ("WD", "WOI", "WI")):
+            refined = refine_pvf(
+                {m: pvf[m] for m in ("WD", "WOI", "WI")},
+                weighted_fpm_rates(gefin, config))
+            margins = [pvf[m].margin() for m in ("WD", "WOI", "WI")]
+            margin = (math.nan if any(math.isnan(x) for x in margins)
+                      else sum(w * x for w, x in
+                               zip(refined.fpm_weights.values(),
+                                   margins)))
+            row.layers["rPVF"] = LayerMeasurement(
+                value=refined.total, margin=margin,
+                dominant_effect=refined.dominant_effect,
+                runs=sum(len(pvf[m].results)
+                         for m in ("WD", "WOI", "WI")))
+        if row.layers:
+            rows.append(row)
+    return rows
+
+
+def analyze_divergence(campaigns: list,
+                       tolerance: float = 0.0) -> DivergenceReport:
+    """Full divergence analysis of a bag of campaign results.
+
+    *tolerance* treats layer-value differences at or below it as
+    ties when hunting opposite-direction pairs (set it to the margin
+    scale to suppress noise-level flips).
+    """
+    rows = build_rows(campaigns)
+    report = DivergenceReport(rows=rows)
+
+    by_key: dict = {}
+    for row in rows:
+        by_key.setdefault(row.key, []).append(row)
+
+    gaps: dict = {}
+    opposite: dict = {}
+    pairs_considered: dict = {}
+    for (config_name, hardened), group in sorted(by_key.items()):
+        values: dict = {}
+        for row in group:
+            for method, measurement in row.layers.items():
+                values.setdefault(method, {})[row.workload] = \
+                    measurement.value
+        for method_a, method_b in combinations(METHODS, 2):
+            if method_a not in values or method_b not in values:
+                continue
+            common = set(values[method_a]) & set(values[method_b])
+            if len(common) < 1:
+                continue
+            pair = (method_a, method_b)
+            for workload in common:
+                gaps.setdefault(pair, []).append(
+                    abs(values[method_a][workload]
+                        - values[method_b][workload]))
+            disagreements = opposite_pairs(
+                values[method_a], values[method_b],
+                method_a=method_a, method_b=method_b,
+                tolerance=tolerance)
+            n = len(common)
+            pairs_considered[pair] = (pairs_considered.get(pair, 0)
+                                      + n * (n - 1) // 2)
+            opposite[pair] = (opposite.get(pair, 0)
+                              + len(disagreements))
+            if disagreements:
+                label = (f"{method_a} vs {method_b}@{config_name}"
+                         f"{'+ft' if hardened else ''}")
+                report.disagreements[label] = disagreements
+                flagged = {d.first for d in disagreements} \
+                    | {d.second for d in disagreements}
+                for row in group:
+                    if row.workload in flagged:
+                        row.flags.add(f"{method_a} vs {method_b}")
+
+    for pair, gap_list in gaps.items():
+        mean_gap = sum(gap_list) / len(gap_list)
+        considered = pairs_considered.get(pair, 0)
+        flips = opposite.get(pair, 0)
+        flip_fraction = flips / considered if considered else 0.0
+        report.ranking.append(PairScore(
+            method_a=pair[0], method_b=pair[1],
+            opposite=flips, pairs=considered, mean_gap=mean_gap,
+            score=flip_fraction + mean_gap))
+    report.ranking.sort(key=lambda s: s.score, reverse=True)
+    return report
+
+
+def gefin_structure_rows(campaigns: list) -> dict:
+    """Per-structure AVF map for the heatmap axis.
+
+    Returns ``{(workload, config, hardened): {structure:
+    CampaignResult}}`` keeping the largest-n campaign per slot.
+    """
+    out: dict = {}
+    for campaign in campaigns:
+        if campaign.injector != "gefin" or not campaign.structure:
+            continue
+        if campaign.structure not in STRUCTURES:
+            continue
+        key = (campaign.workload, campaign.config_name,
+               campaign.hardened)
+        slot = out.setdefault(key, {})
+        cur = slot.get(campaign.structure)
+        if cur is None or len(campaign.results) > len(cur.results):
+            slot[campaign.structure] = campaign
+    return out

@@ -69,6 +69,31 @@ class FaultSpec:
             raise ValueError("n_bits must be at least 1")
 
 
+def fault_site_bit(config: MicroarchConfig, spec: FaultSpec) -> int:
+    """Fold a spec's bit coordinate onto its structure's bit width.
+
+    The result is the bit position *within one entry* of the target
+    structure (an RF register, an LSQ entry, a cache line's data or
+    tag field), matching the folding the engines apply at the flip
+    site.  Attribution profiles bin this into bit regions, so the
+    dashboard can show where in the word faults were planted without
+    re-deriving any sampling state.
+    """
+    structure = spec.structure
+    if structure == "RF":
+        return spec.b % config.xlen
+    if structure == "LSQ":
+        return spec.b % config.lsq_entry_bits
+    cache = {"L1I": config.l1i, "L1D": config.l1d,
+             "L2": config.l2}[structure]
+    if spec.kind == "tag":
+        n_sets = cache.size // (cache.assoc * cache.line_size)
+        tag_bits = 32 - (n_sets.bit_length() - 1) \
+            - (cache.line_size.bit_length() - 1)
+        return spec.c % tag_bits
+    return spec.c % (cache.line_size * 8)
+
+
 def sample_uniform(config: MicroarchConfig, structure: str,
                    t_max: float, rng: random.Random,
                    prefer_live: bool = False) -> FaultSpec:

@@ -60,6 +60,7 @@ def _wd_action(rng: random.Random, golden: GoldenRun,
         action = FaultAction("commit", when, apply)
         action.origin = (f"architectural register {reg}, bit {bit} "
                          f"at instruction {when}")
+        action.site_bit = bit
         return action
     granule = rng.choice(golden.footprint)
     bit = rng.randrange(64)
@@ -73,6 +74,7 @@ def _wd_action(rng: random.Random, golden: GoldenRun,
     action = FaultAction("commit", when, apply)
     action.origin = (f"program-flow memory {addr:#010x}, "
                      f"bit {bit % 8} at instruction {when}")
+    action.site_bit = bit
     return action
 
 
@@ -97,6 +99,7 @@ def _code_flip_action(rng: random.Random, golden: GoldenRun,
     action.origin = (f"instruction word "
                      f"{'opcode' if opcode_field else 'operand'} "
                      f"bit {bit} at instruction {when}")
+    action.site_bit = bit
     return action
 
 
@@ -110,6 +113,7 @@ def _pc_flip_action(rng: random.Random, golden: GoldenRun) -> FaultAction:
 
     action = FaultAction("commit", when, apply)
     action.origin = f"PC bit {bit} at instruction {when}"
+    action.site_bit = bit
     return action
 
 
@@ -174,6 +178,7 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
         crossed=True,   # PVF faults start architecturally visible
         inject_cycle=float(action.when),
         crossing_cycle=float(action.when),
+        site_bit=getattr(action, "site_bit", None),
     )
 
 

@@ -115,6 +115,10 @@ class CampaignResult:
     #: fault-population size (e.g. bits x cycles) for the
     #: finite-population margin correction; ``None`` = infinite
     population: float | None = None
+    #: golden runtime the injection times were sampled over (cycles
+    #: for gefin, dynamic instructions for pvf/svf); normalises
+    #: program-phase attribution without re-running the golden
+    t_max: float | None = None
     results: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -281,6 +285,27 @@ def _record_campaign_metrics(registry: MetricsRegistry,
 # ---------------------------------------------------------------------------
 # the campaign runner
 # ---------------------------------------------------------------------------
+def _write_profile_sidecar(campaign: "CampaignResult", path) -> None:
+    """Write the ``profile-*.json`` residency sidecar when enabled.
+
+    The profile comes from ONE fault-free pipeline run per
+    (workload, config, hardened) — memoised in-process, cached on
+    disk as the sidecar itself — so campaign results are unaffected
+    (``REPRO_PROFILE=0``, the default, writes nothing at all).
+    """
+    from ..obs.profiles import profile_enabled, profile_golden_run
+
+    if not profile_enabled():
+        return
+    sidecar = cache_dir() / f"profile-{path.stem}.json"
+    if sidecar.exists():
+        return
+    profile = profile_golden_run(campaign.workload,
+                                 campaign.config_name,
+                                 hardened=campaign.hardened)
+    atomic_write_text(sidecar, json.dumps(profile.to_json()))
+
+
 def _campaign_path(meta: tuple) -> "os.PathLike":
     import hashlib
 
@@ -381,6 +406,7 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         else:
             if population is not None:
                 campaign.population = population
+            _write_profile_sidecar(campaign, path)
             return campaign
 
     # make sure golden data (and, on the fast path, the checkpoint
@@ -445,7 +471,10 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         structure=structure if injector == "gefin" else None,
         model=model if injector == "pvf" else None,
         hardened=hardened, occupancy_weight=weight,
-        population=population, results=results,
+        population=population,
+        t_max=(golden.cycles if injector == "gefin"
+               else float(max(1, golden.instructions))),
+        results=results,
     )
     events.emit("campaign_summary", campaign=path.stem,
                 **_summary_fields(campaign, elapsed))
@@ -461,4 +490,5 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     if use_cache:
         atomic_write_text(path, json.dumps(campaign.to_json()))
         clear_checkpoints(checkpoint_dir)
+    _write_profile_sidecar(campaign, path)
     return campaign

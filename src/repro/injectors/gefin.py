@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..faults.fault import FaultSpec, sample_campaign
+from ..faults.fault import FaultSpec, fault_site_bit, sample_campaign
 from ..faults.outcomes import Outcome, Verdict, classify
 from ..kernel.loader import build_system_image
 from ..uarch.config import MicroarchConfig
@@ -46,6 +46,9 @@ class InjectionResult:
     inject_cycle: float = 0.0
     #: cycle of the first architectural crossing; None if never crossed
     crossing_cycle: float | None = None
+    #: bit position within one entry of the injected structure (folded
+    #: onto the entry width); None when the injector predates profiling
+    site_bit: int | None = None
 
     @property
     def vulnerable(self) -> bool:
@@ -138,6 +141,7 @@ def run_one_injection(workload: str, config: MicroarchConfig,
         inject_cycle=spec.cycle,
         crossing_cycle=(result.crossing.cycle
                         if result.crossing else None),
+        site_bit=fault_site_bit(config, spec),
     )
 
 

@@ -35,7 +35,7 @@ WATCHDOG_CYCLE_FACTOR = 5
 #: format or engine semantics change in a way that could silently mix
 #: stale entries with fresh ones (e.g. the fast-path introduction);
 #: old entries then simply miss and are recomputed.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 
 def cache_dir() -> Path:

@@ -42,6 +42,7 @@ def _dest_flip_action(rng: random.Random, golden: GoldenRun,
     action = FaultAction("user_dest", when, apply)
     action.origin = (f"destination register of user instruction "
                      f"{when}, bit {bit}")
+    action.site_bit = bit
     return action
 
 
@@ -93,6 +94,7 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
         crossed=True,
         inject_cycle=float(action.when),
         crossing_cycle=float(action.when),
+        site_bit=getattr(action, "site_bit", None),
     )
 
 

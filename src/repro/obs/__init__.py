@@ -11,23 +11,37 @@
   flip's life story across the vulnerability stack).
 * :mod:`~repro.obs.reporting` — ``repro report``: aggregate an event
   log into a text dashboard without re-running any simulation.
+* :mod:`~repro.obs.profiles` — residency/attribution profiler gated
+  by ``REPRO_PROFILE`` (``profile-*.json`` campaign sidecars) and
+  per-outcome campaign attribution by (phase x bit region).
+* :mod:`~repro.obs.dashboard` — ``repro dashboard``: the cross-layer
+  vulnerability map as ANSI text and self-contained HTML.
 """
 
 from .events import EventLog
 from .metrics import (MetricsRegistry, get_registry, metrics_enabled,
                       set_registry)
+from .profiles import (Attribution, ResidencyProfile,
+                       ResidencyProfiler, attribute_campaign,
+                       profile_enabled, profile_golden_run)
 from .progress import ProgressReporter, progress_enabled
 from .tracing import FaultTrace, FaultTracer, TraceEvent
 
 __all__ = [
+    "Attribution",
     "EventLog",
     "FaultTrace",
     "FaultTracer",
     "MetricsRegistry",
     "ProgressReporter",
+    "ResidencyProfile",
+    "ResidencyProfiler",
     "TraceEvent",
+    "attribute_campaign",
     "get_registry",
     "metrics_enabled",
+    "profile_enabled",
+    "profile_golden_run",
     "progress_enabled",
     "set_registry",
 ]

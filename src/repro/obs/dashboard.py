@@ -1,0 +1,475 @@
+"""``repro dashboard``: the cross-layer vulnerability map.
+
+Renders everything the attribution profiler and the campaign caches
+already know — **without re-running any simulation** — in two forms:
+
+* an ANSI/plain-text dashboard for the terminal, and
+* a single self-contained HTML file (inline CSS + inline SVG, zero
+  external requests, no JavaScript) suitable for CI artifacts.
+
+Sections:
+
+* structure x program-phase vulnerability heatmaps (per workload,
+  from :func:`repro.obs.profiles.attribute_campaign`);
+* bit-region vulnerability heatmaps (where in the entry word faults
+  hurt);
+* the FPM mix per structure (WD/WI/WOI/ESC — Fig. 5/6 style);
+* the AVF/PVF/SVF/rPVF divergence table with opposite-direction
+  pair flags and the miscorrelation ranking (Table III style, via
+  :mod:`repro.core.divergence`);
+* residency profiles (``profile-*.json`` sidecars, when present);
+* campaign throughput/latency from ``events.jsonl`` (via
+  :mod:`repro.obs.reporting`).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.divergence import (METHODS, analyze_divergence,
+                               gefin_structure_rows)
+from ..core.report import render_sparkline, render_table
+from ..injectors.campaign import CampaignResult
+from .profiles import (N_PHASES, N_REGIONS, ResidencyProfile,
+                       attribute_campaign)
+from .reporting import iter_events, report_data
+
+#: density ramp shared by every text heatmap (index 0 = zero)
+RAMP = " .:-=+*#%@"
+
+
+# ---------------------------------------------------------------------------
+# data assembly (reads sidecars and the event log; never simulates)
+# ---------------------------------------------------------------------------
+def scan_campaigns(cache_path: "Path | str") -> list:
+    """Load every parseable ``campaign-*.json`` sidecar in a directory.
+
+    Corrupt or foreign files are skipped, never raised on — the cache
+    directory is shared mutable state.
+    """
+    out = []
+    for path in sorted(Path(cache_path).glob("campaign-*.json")):
+        try:
+            data = json.loads(path.read_text())
+            campaign = CampaignResult.from_json(data)
+        except (ValueError, TypeError, KeyError, OSError):
+            continue
+        out.append(campaign)
+    return out
+
+
+def scan_profiles(cache_path: "Path | str") -> dict:
+    """Load ``profile-*.json`` sidecars, keyed (workload, config,
+    hardened)."""
+    out: dict = {}
+    for path in sorted(Path(cache_path).glob("profile-*.json")):
+        try:
+            profile = ResidencyProfile.from_json(
+                json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError, OSError):
+            continue
+        out[(profile.workload, profile.config_name,
+             profile.hardened)] = profile
+    return out
+
+
+@dataclass
+class Heatmap:
+    """One labelled grid of vulnerability values in [0, 1]."""
+
+    title: str
+    row_labels: list
+    col_labels: list
+    values: list          # values[row][col]
+
+    @property
+    def peak(self) -> float:
+        return max((v for row in self.values for v in row),
+                   default=0.0)
+
+
+@dataclass
+class DashboardData:
+    """Everything the renderers need, fully precomputed."""
+
+    campaigns: list = field(default_factory=list)
+    phase_heatmaps: list = field(default_factory=list)
+    region_heatmaps: list = field(default_factory=list)
+    #: {group label: {structure: {fpm: rate}}}
+    fpm_mix: dict = field(default_factory=dict)
+    divergence: "object | None" = None
+    profiles: dict = field(default_factory=dict)
+    events_summary: "dict | None" = None
+    n_phases: int = N_PHASES
+    n_regions: int = N_REGIONS
+
+
+def _group_label(key: tuple) -> str:
+    workload, config_name, hardened = key
+    return f"{workload}@{config_name}{'+ft' if hardened else ''}"
+
+
+def build_dashboard(cache_path: "Path | str | None" = None,
+                    events_path: "Path | str | None" = None,
+                    n_phases: int = N_PHASES,
+                    n_regions: int = N_REGIONS) -> DashboardData:
+    """Assemble the dashboard from sidecars + the event log."""
+    from ..injectors.golden import cache_dir
+
+    cache_path = Path(cache_path) if cache_path else cache_dir()
+    campaigns = scan_campaigns(cache_path)
+    data = DashboardData(campaigns=campaigns,
+                         profiles=scan_profiles(cache_path),
+                         n_phases=n_phases, n_regions=n_regions)
+
+    for key, per_structure in sorted(
+            gefin_structure_rows(campaigns).items()):
+        label = _group_label(key)
+        structures = sorted(per_structure)
+        attributions = {s: attribute_campaign(per_structure[s],
+                                              n_phases=n_phases,
+                                              n_regions=n_regions)
+                        for s in structures}
+        data.phase_heatmaps.append(Heatmap(
+            title=f"{label} — vulnerability by structure x "
+                  f"program phase",
+            row_labels=structures,
+            col_labels=[f"P{i}" for i in range(n_phases)],
+            values=[attributions[s].phase_vulnerability()
+                    for s in structures]))
+        data.region_heatmaps.append(Heatmap(
+            title=f"{label} — vulnerability by structure x "
+                  f"bit region (R0 = low bits)",
+            row_labels=structures,
+            col_labels=[f"R{i}" for i in range(n_regions)],
+            values=[[cell["vulnerability"]
+                     for cell in attributions[s].by_region()]
+                    for s in structures]))
+        data.fpm_mix[label] = {s: per_structure[s].fpm_rates()
+                               for s in structures}
+
+    data.divergence = analyze_divergence(campaigns)
+
+    if events_path is not None and (str(events_path) == "-"
+                                    or Path(events_path).exists()):
+        data.events_summary = report_data(iter_events(events_path))
+    return data
+
+
+# ---------------------------------------------------------------------------
+# ANSI / plain-text rendering
+# ---------------------------------------------------------------------------
+def _cell_text(value: float, peak: float, color: bool) -> str:
+    frac = value / peak if peak > 0 else 0.0
+    glyph = RAMP[min(len(RAMP) - 1, round(frac * (len(RAMP) - 1)))]
+    text = f"{glyph * 2}{100 * value:5.1f}%"
+    if color and frac > 0:
+        # 256-colour ramp black -> red (232..: grayscale; 52/88/124/
+        # 160/196: reds); keeps the default terminal palette intact
+        reds = (52, 88, 124, 160, 196)
+        code = reds[min(len(reds) - 1, int(frac * len(reds)))]
+        return f"\x1b[38;5;{code}m{text}\x1b[0m"
+    return text
+
+
+def render_heatmap(heatmap: Heatmap, color: bool = False) -> str:
+    """Render one heatmap as an aligned glyph/percent grid."""
+    peak = heatmap.peak
+    label_w = max([len(str(r)) for r in heatmap.row_labels] + [4])
+    out = [heatmap.title, "-" * len(heatmap.title)]
+    header = " " * label_w + "  " + "  ".join(
+        str(c).center(8) for c in heatmap.col_labels)
+    out.append(header.rstrip())
+    for label, row in zip(heatmap.row_labels, heatmap.values):
+        cells = "  ".join(_cell_text(v, peak, color) for v in row)
+        out.append(f"{str(label).ljust(label_w)}  {cells}")
+    out.append(f"{'scale'.ljust(label_w)}  0%  [{RAMP}]  "
+               f"{100 * peak:.1f}%")
+    return "\n".join(out)
+
+
+def _fpm_section(fpm_mix: dict) -> str:
+    rows = []
+    for group, per_structure in fpm_mix.items():
+        for structure, rates in per_structure.items():
+            total = sum(rates.values())
+            rows.append([group, structure,
+                         *(f"{100 * rates[f]:.2f}%"
+                           for f in ("WD", "WI", "WOI", "ESC")),
+                         f"{100 * total:.2f}%"])
+    return render_table(
+        ["workload", "structure", "WD", "WI", "WOI", "ESC",
+         "visible"], rows,
+        title="FPM mix (occupancy-weighted rates per structure)")
+
+
+def _divergence_section(report) -> str:
+    rows = []
+    for row in report.rows:
+        cells = [row.label]
+        for method in METHODS:
+            measurement = row.layers.get(method)
+            cells.append(measurement.label() if measurement else "-")
+        cells.append(", ".join(sorted(row.flags)) if row.flags
+                     else "-")
+        rows.append(cells)
+    sections = [render_table(
+        ["workload", *METHODS, "opposite-direction flags"], rows,
+        title="cross-layer divergence (AVF = ground truth)")]
+    if report.disagreements:
+        pair_rows = []
+        for label, disagreements in sorted(
+                report.disagreements.items()):
+            for d in disagreements:
+                pair_rows.append([
+                    label,
+                    f"{d.first} vs {d.second}",
+                    f"{100 * d.value_a_first:.2f}% vs "
+                    f"{100 * d.value_a_second:.2f}%",
+                    f"{100 * d.value_b_first:.2f}% vs "
+                    f"{100 * d.value_b_second:.2f}%"])
+        sections.append(render_table(
+            ["layers", "workload pair", "first layer",
+             "second layer"], pair_rows,
+            title="opposite-direction pairs (Table III style)"))
+    if report.ranking:
+        rank_rows = [[s.label, f"{s.opposite}/{s.pairs}",
+                      f"{100 * s.mean_gap:.2f}%", f"{s.score:.3f}"]
+                     for s in report.ranking]
+        sections.append(render_table(
+            ["layer pair", "opposite pairs", "mean gap", "score"],
+            rank_rows,
+            title="miscorrelation ranking (worst tracking first)"))
+    return "\n\n".join(sections)
+
+
+def _residency_section(profiles: dict) -> str:
+    rows = []
+    for (workload, config_name, hardened), profile in \
+            sorted(profiles.items()):
+        label = _group_label((workload, config_name, hardened))
+        for structure, series in profile.occupancy.items():
+            mean = sum(series) / len(series) if series else 0.0
+            rows.append([label, structure, f"{100 * mean:.1f}%",
+                         f"[{render_sparkline(series, width=24)}]"])
+    return render_table(
+        ["workload", "structure", "mean occupancy",
+         "per-phase trend"], rows,
+        title=f"residency profiles ({len(profiles)} golden runs, "
+              f"sampled)")
+
+
+def _events_section(summary: dict) -> str:
+    rows = [[c["label"], c["runs"], f"{c['elapsed']:.1f}s",
+             f"{c['runs_per_sec']:.1f}",
+             (f"{c['latency']['p50']:.0f}/{c['latency']['p99']:.0f}"
+              if "latency" in c else "-")]
+            for c in summary["campaigns"]]
+    sections = [render_table(
+        ["campaign", "runs", "elapsed", "runs/s",
+         "latency p50/p99"], rows,
+        title="campaign throughput/latency (events.jsonl)")]
+    trend = [r for c in summary["campaigns"]
+             for r in c["shard_rates"]]
+    if trend:
+        sections.append("throughput trend (runs/s per shard, "
+                        f"{min(trend):.1f}..{max(trend):.1f})\n"
+                        f"  [{render_sparkline(trend)}]")
+    return "\n\n".join(sections)
+
+
+def render_dashboard(data: DashboardData, color: bool = False) -> str:
+    """Render the full dashboard as ANSI/plain text."""
+    if not data.campaigns:
+        return ("no campaign sidecars found — run a campaign first "
+                "(e.g. `python -m repro campaign sha`)")
+    sections = [f"vulnerability dashboard — {len(data.campaigns)} "
+                f"campaigns, {len(data.profiles)} residency profiles"]
+    for heatmap in data.phase_heatmaps:
+        sections.append(render_heatmap(heatmap, color=color))
+    for heatmap in data.region_heatmaps:
+        sections.append(render_heatmap(heatmap, color=color))
+    if data.fpm_mix:
+        sections.append(_fpm_section(data.fpm_mix))
+    if data.divergence is not None and data.divergence.rows:
+        sections.append(_divergence_section(data.divergence))
+    if data.profiles:
+        sections.append(_residency_section(data.profiles))
+    if data.events_summary and data.events_summary["campaigns"]:
+        sections.append(_events_section(data.events_summary))
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# self-contained HTML rendering (inline CSS + SVG, no JS, no requests)
+# ---------------------------------------------------------------------------
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+       max-width: 72em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f2f2f2; }
+.flag { color: #b00020; font-weight: 600; }
+.muted { color: #777; }
+svg text { font: 11px system-ui, sans-serif; }
+"""
+
+
+def _svg_heatmap(heatmap: Heatmap) -> str:
+    """One heatmap as inline SVG (white -> red, labelled cells)."""
+    cell_w, cell_h = 58, 24
+    label_w = 8 + 7 * max([len(str(r))
+                           for r in heatmap.row_labels] + [1])
+    width = label_w + cell_w * len(heatmap.col_labels) + 8
+    height = 20 + cell_h * (len(heatmap.row_labels) + 1)
+    peak = heatmap.peak
+    parts = [f'<svg role="img" width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}" '
+             f'xmlns="http://www.w3.org/2000/svg">']
+    for j, col in enumerate(heatmap.col_labels):
+        x = label_w + j * cell_w + cell_w // 2
+        parts.append(f'<text x="{x}" y="14" '
+                     f'text-anchor="middle">{html.escape(str(col))}'
+                     f'</text>')
+    for i, (row_label, row) in enumerate(
+            zip(heatmap.row_labels, heatmap.values)):
+        y = 20 + i * cell_h
+        parts.append(f'<text x="{label_w - 6}" y="{y + 16}" '
+                     f'text-anchor="end">'
+                     f'{html.escape(str(row_label))}</text>')
+        for j, value in enumerate(row):
+            frac = value / peak if peak > 0 else 0.0
+            shade = int(255 * (1 - frac))
+            x = label_w + j * cell_w
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_w - 2}" '
+                f'height="{cell_h - 2}" '
+                f'fill="rgb(255,{shade},{shade})" '
+                f'stroke="#ddd"/>')
+            text_fill = "#fff" if frac > 0.55 else "#222"
+            parts.append(
+                f'<text x="{x + (cell_w - 2) // 2}" y="{y + 16}" '
+                f'text-anchor="middle" fill="{text_fill}">'
+                f'{100 * value:.1f}%</text>')
+    parts.append(f'<text x="{label_w}" y="{height - 4}" '
+                 f'class="muted">peak {100 * peak:.1f}%</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _html_table(headers: list, rows: list) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = []
+    for row in rows:
+        cells = "".join(
+            str(c) if isinstance(c, _RawHTML)
+            else f"<td>{html.escape(str(c))}</td>" for c in row)
+        body.append(f"<tr>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+class _RawHTML(str):
+    """A pre-escaped table cell (already wrapped in ``<td>``)."""
+
+
+def render_html(data: DashboardData,
+                title: str = "repro vulnerability dashboard") -> str:
+    """Render the dashboard as one self-contained HTML document."""
+    parts = ["<!DOCTYPE html>", '<html lang="en"><head>',
+             '<meta charset="utf-8">',
+             f"<title>{html.escape(title)}</title>",
+             f"<style>{_CSS}</style>", "</head><body>",
+             f"<h1>{html.escape(title)}</h1>",
+             f'<p class="muted">{len(data.campaigns)} campaigns, '
+             f"{len(data.profiles)} residency profiles; "
+             f"rendered from cached sidecars only — no "
+             f"re-simulation.</p>"]
+    if not data.campaigns:
+        parts.append("<p>No campaign sidecars found.</p>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    parts.append("<h2>Vulnerability by structure × program phase"
+                 "</h2>")
+    for heatmap in data.phase_heatmaps:
+        parts.append(f"<h3>{html.escape(heatmap.title)}</h3>")
+        parts.append(_svg_heatmap(heatmap))
+    if data.region_heatmaps:
+        parts.append("<h2>Vulnerability by structure × bit region"
+                     "</h2>")
+        for heatmap in data.region_heatmaps:
+            parts.append(f"<h3>{html.escape(heatmap.title)}</h3>")
+            parts.append(_svg_heatmap(heatmap))
+
+    if data.fpm_mix:
+        parts.append("<h2>FPM mix</h2>")
+        rows = []
+        for group, per_structure in data.fpm_mix.items():
+            for structure, rates in per_structure.items():
+                rows.append([group, structure,
+                             *(f"{100 * rates[f]:.2f}%"
+                               for f in ("WD", "WI", "WOI", "ESC"))])
+        parts.append(_html_table(
+            ["workload", "structure", "WD", "WI", "WOI", "ESC"],
+            rows))
+
+    report = data.divergence
+    if report is not None and report.rows:
+        parts.append("<h2>Cross-layer divergence</h2>")
+        rows = []
+        for row in report.rows:
+            cells = [row.label]
+            for method in METHODS:
+                m = row.layers.get(method)
+                cells.append(m.label() if m else "-")
+            flags = ", ".join(sorted(row.flags))
+            cells.append(_RawHTML(
+                f'<td class="flag">{html.escape(flags)}</td>')
+                if flags else "-")
+            rows.append(cells)
+        parts.append(_html_table(
+            ["workload", *METHODS, "opposite-direction flags"],
+            rows))
+        if report.ranking:
+            parts.append("<h3>Miscorrelation ranking</h3>")
+            parts.append(_html_table(
+                ["layer pair", "opposite pairs", "mean gap",
+                 "score"],
+                [[s.label, f"{s.opposite}/{s.pairs}",
+                  f"{100 * s.mean_gap:.2f}%", f"{s.score:.3f}"]
+                 for s in report.ranking]))
+
+    if data.profiles:
+        parts.append("<h2>Residency profiles</h2>")
+        rows = []
+        for key, profile in sorted(data.profiles.items()):
+            label = _group_label(key)
+            for structure, series in profile.occupancy.items():
+                mean = (sum(series) / len(series)) if series else 0.0
+                rows.append([label, structure,
+                             f"{100 * mean:.1f}%",
+                             render_sparkline(series, width=24)])
+        parts.append(_html_table(
+            ["workload", "structure", "mean occupancy",
+             "per-phase trend"], rows))
+
+    if data.events_summary and data.events_summary["campaigns"]:
+        parts.append("<h2>Campaign throughput/latency</h2>")
+        rows = [[c["label"], c["runs"], f"{c['elapsed']:.1f}s",
+                 f"{c['runs_per_sec']:.1f}",
+                 (f"{c['latency']['p50']:.0f}/"
+                  f"{c['latency']['p99']:.0f}"
+                  if "latency" in c else "-")]
+                for c in data.events_summary["campaigns"]]
+        parts.append(_html_table(
+            ["campaign", "runs", "elapsed", "runs/s",
+             "latency p50/p99"], rows))
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

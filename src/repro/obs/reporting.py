@@ -17,20 +17,37 @@ matches the look of every other bench/figure in the repo.
 
 from __future__ import annotations
 
+import gzip
 import json
+import sys
 from pathlib import Path
 
 from ..core.report import (render_bar_chart, render_sparkline,
                            render_table)
 from .metrics import Histogram
 
-__all__ = ["load_events", "render_report"]
+__all__ = ["iter_events", "load_events", "render_report",
+           "report_data"]
 
 
-def load_events(path: "Path | str") -> list:
-    """Parse a JSONL event log, skipping malformed/foreign lines."""
-    events = []
-    with open(path) as handle:
+def _open_events(path: "Path | str"):
+    """Open an event log: a path, a ``.gz`` path, or ``-`` (stdin)."""
+    if str(path) == "-":
+        return sys.stdin
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "rt")
+    return open(path)
+
+
+def iter_events(path: "Path | str"):
+    """Stream a JSONL event log, skipping malformed/foreign lines.
+
+    A generator — million-line logs are aggregated without ever
+    materialising the whole list.  *path* may be a plain file, a
+    gzip-compressed ``.gz`` file, or ``-`` for stdin.
+    """
+    handle = _open_events(path)
+    try:
         for line in handle:
             line = line.strip()
             if not line:
@@ -40,8 +57,20 @@ def load_events(path: "Path | str") -> list:
             except ValueError:
                 continue
             if isinstance(record, dict) and "event" in record:
-                events.append(record)
-    return events
+                yield record
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def load_events(path: "Path | str"):
+    """Stream a JSONL event log (alias of :func:`iter_events`).
+
+    Historically returned a list; it now returns a generator so the
+    aggregation passes stay O(campaigns), not O(lines), in memory.
+    Wrap in ``list()`` if random access is needed.
+    """
+    return iter_events(path)
 
 
 def _hist_from_dump(dump: dict) -> "Histogram | None":
@@ -87,10 +116,14 @@ class _Campaign:
                 self.shard_rates.append(runs / wall)
         elif kind == "shard_retry":
             shard = record.get("shard", -1)
-            attempts, _ = self.retries.get(shard, (0, ""))
-            self.retries[shard] = (max(attempts,
-                                       record.get("attempt", 1)),
-                                   record.get("error", ""))
+            attempt = record.get("attempt", 1)
+            attempts, error = self.retries.get(shard, (0, ""))
+            # keep the error of the *highest* attempt seen, not of
+            # whichever record happened to arrive last (multi-worker
+            # logs interleave out of order)
+            if attempt >= attempts:
+                error = record.get("error", "")
+            self.retries[shard] = (max(attempts, attempt), error)
         elif kind == "campaign_finished":
             self.runs = record.get("runs", self.runs)
             self.elapsed = record.get("elapsed", self.elapsed)
@@ -112,7 +145,7 @@ class _Campaign:
                 self.latency = _hist_from_dump(dump)
 
 
-def _aggregate(events: list) -> "dict[str, _Campaign]":
+def _aggregate(events) -> "dict[str, _Campaign]":
     campaigns: dict = {}
     for record in events:
         key = record.get("campaign")
@@ -133,8 +166,53 @@ def _outcome_mix(outcomes: dict) -> str:
                                        key=lambda kv: -kv[1]))
 
 
-def render_report(events: list, limit: int = 20) -> str:
-    """Render the text dashboard for a parsed event list."""
+def report_data(events) -> dict:
+    """Aggregate an event stream into a JSON-serialisable summary.
+
+    The machine-readable counterpart of :func:`render_report`
+    (``repro report --json``): per-campaign stats, aggregate outcome
+    totals, and retry hot spots — nothing is re-simulated.
+    """
+    campaigns = _aggregate(events)
+    out: dict = {"campaigns": [], "outcome_totals": {}, "retries": []}
+    for c in campaigns.values():
+        entry = {
+            "key": c.key,
+            "label": c.label,
+            "n": c.n,
+            "shards": c.shards,
+            "resumed": c.resumed,
+            "workers": c.workers,
+            "runs": c.runs,
+            "elapsed": round(c.elapsed, 3),
+            "runs_per_sec": round(c.runs_per_sec, 3),
+            "outcomes": dict(c.outcomes),
+            "shard_rates": [round(r, 3) for r in c.shard_rates],
+            "retries": sum(a for a, _ in c.retries.values()),
+        }
+        if c.latency is not None and c.latency.count:
+            entry["latency"] = {
+                "count": c.latency.count,
+                "mean": round(c.latency.mean, 3),
+                "p50": round(c.latency.percentile(50), 3),
+                "p90": round(c.latency.percentile(90), 3),
+                "p99": round(c.latency.percentile(99), 3),
+            }
+        out["campaigns"].append(entry)
+        for outcome, count in c.outcomes.items():
+            out["outcome_totals"][outcome] = \
+                out["outcome_totals"].get(outcome, 0) + count
+        for shard, (attempts, error) in sorted(c.retries.items()):
+            out["retries"].append({"campaign": c.label,
+                                   "shard": shard,
+                                   "attempts": attempts,
+                                   "last_error": error})
+    out["retries"].sort(key=lambda r: -r["attempts"])
+    return out
+
+
+def render_report(events, limit: int = 20) -> str:
+    """Render the text dashboard for an event stream or list."""
     campaigns = _aggregate(events)
     if not campaigns:
         return "no campaign events found"

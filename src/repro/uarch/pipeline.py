@@ -261,6 +261,11 @@ class PipelineEngine:
         #: ``poll(engine)``; polled at the top of the run loop, and a
         #: non-None poll() return ends the run with that result.
         self.fastpath = None
+        #: optional residency profiler (see repro.obs.profiles): an
+        #: object with ``every`` (sampling stride in committed
+        #: instructions) and ``sample(engine)``; read-only, so an
+        #: attached profiler never perturbs simulation results.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # crossing / fault bookkeeping
@@ -550,6 +555,8 @@ class PipelineEngine:
         have_faults = bool(self.faults)
         arch_probe = self.arch_probe
         fastpath = self.fastpath
+        profiler = self.profiler
+        profile_every = profiler.every if profiler is not None else 0
 
         try:
             while not ms.halted:
@@ -713,6 +720,8 @@ class PipelineEngine:
                     self.kernel_instructions += 1
                 if arch_probe is not None:
                     arch_probe(self)
+                if profile_every and not self.instructions % profile_every:
+                    profiler.sample(self)
                 if self.collect_stats and not self.instructions % 64:
                     self._sample_occupancy()
         except SimException as exc:

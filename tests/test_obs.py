@@ -24,7 +24,8 @@ from repro.obs.metrics import (
     set_registry,
 )
 from repro.obs.progress import ProgressReporter, _format_eta
-from repro.obs.reporting import load_events, render_report
+from repro.obs.reporting import (load_events, render_report,
+                                 report_data)
 
 
 # ---------------------------------------------------------------------------
@@ -299,3 +300,114 @@ class TestReporting:
         render_report(_synthetic_events())
         assert "repro.uarch.pipeline" not in sys.modules
         assert reporting  # keep the import explicit
+
+    def test_load_events_is_a_lazy_stream(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n{"event": "b"}\n')
+        stream = load_events(path)
+        assert iter(stream) is stream       # generator, not a list
+        assert next(stream)["event"] == "a"
+
+    def test_load_events_reads_gzip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "events.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            for record in _synthetic_events():
+                handle.write(json.dumps(record) + "\n")
+        kinds = [e["event"] for e in load_events(path)]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_summary"
+        assert "gefin:sha/RF" in render_report(load_events(path))
+
+    def test_load_events_reads_stdin(self, monkeypatch):
+        lines = "".join(json.dumps(r) + "\n"
+                        for r in _synthetic_events())
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        kinds = [e["event"] for e in load_events("-")]
+        assert len(kinds) == len(_synthetic_events())
+
+    @pytest.mark.parametrize("dump", [
+        {},                                             # empty
+        {"boundaries": [1.0, 10.0]},                    # partial
+        {"boundaries": [1.0, 10.0], "counts": [0, 0, 0],
+         "count": 0},                                   # missing sum
+        {"boundaries": [10.0, 1.0], "counts": [0, 0, 0],
+         "count": 0, "sum": 0.0},                       # descending
+        {"boundaries": [1.0, 10.0], "counts": [0, 0, 0],
+         "count": "three", "sum": 0.0},                 # non-numeric
+        {"boundaries": None, "counts": [0], "count": 0,
+         "sum": 0.0},                                   # wrong type
+    ])
+    def test_hist_from_dump_rejects_malformed(self, dump):
+        from repro.obs.reporting import _hist_from_dump
+
+        assert _hist_from_dump(dump) is None
+
+    def test_hist_from_dump_accepts_well_formed(self):
+        from repro.obs.reporting import _hist_from_dump
+
+        hist = Histogram(LATENCY_BUCKETS)
+        hist.observe(40.0)
+        clone = _hist_from_dump(
+            {"boundaries": list(hist.boundaries),
+             "counts": list(hist.counts),
+             "count": hist.count, "sum": hist.sum})
+        assert clone is not None
+        assert clone.count == 1
+        assert clone.percentile(50) == pytest.approx(
+            hist.percentile(50))
+
+    def test_interleaved_campaigns_stay_separate(self):
+        # two campaigns' events arrive interleaved, as they do with
+        # concurrent writers sharing one events.jsonl
+        c1 = _synthetic_events()
+        c2 = []
+        for record in _synthetic_events():
+            record = dict(record)
+            record["campaign"] = "c2"
+            if record["event"] == "campaign_summary":
+                record["workload"] = "crc32"
+                record["target"] = "LSQ"
+                record["outcomes"] = {"masked": 8}
+            c2.append(record)
+        interleaved = [r for pair in zip(c1, c2) for r in pair]
+        text = render_report(interleaved)
+        assert "gefin:sha/RF" in text
+        assert "gefin:crc32/LSQ" in text
+        data = report_data(iter(interleaved))
+        assert {c["label"] for c in data["campaigns"]} == \
+            {"gefin:sha/RF", "gefin:crc32/LSQ"}
+        assert all(c["runs"] == 8 for c in data["campaigns"])
+        assert data["outcome_totals"]["masked"] == 13
+
+    def test_retry_keeps_highest_attempt_error(self):
+        # multi-worker logs interleave: the attempt-3 record can land
+        # before attempt-1.  The hot-spot table must show the error of
+        # the highest attempt, not of whichever line came last.
+        events = [
+            {"event": "shard_retry", "campaign": "c1", "shard": 4,
+             "attempt": 3, "error": "final straw"},
+            {"event": "shard_retry", "campaign": "c1", "shard": 4,
+             "attempt": 1, "error": "stale first try"},
+        ]
+        data = report_data(events)
+        (entry,) = data["retries"]
+        assert entry["attempts"] == 3
+        assert entry["last_error"] == "final straw"
+        text = render_report(events)
+        assert "final straw" in text
+        assert "stale first try" not in text
+
+    def test_report_data_shape(self):
+        data = report_data(_synthetic_events())
+        (campaign,) = data["campaigns"]
+        assert campaign["label"] == "gefin:sha/RF"
+        assert campaign["runs"] == 8
+        assert campaign["retries"] == 2
+        assert len(campaign["shard_rates"]) == 2
+        assert campaign["latency"]["count"] == 3
+        assert campaign["latency"]["p50"] <= campaign["latency"]["p99"]
+        assert data["outcome_totals"] == {"masked": 5, "sdc": 2,
+                                          "crash": 1}
+        assert json.loads(json.dumps(data)) == data
