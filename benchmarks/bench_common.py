@@ -41,6 +41,37 @@ def emit(name: str, text: str) -> str:
     return text
 
 
+def emit_json(name: str, payload: dict) -> dict:
+    """Persist machine-readable bench results as out/BENCH_<name>.json.
+
+    The perf trajectory across PRs is tracked from these files (CI
+    uploads them as artifacts); keep payloads flat dicts of numbers
+    plus short strings so they diff cleanly.
+    """
+    import json
+
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n")
+    return payload
+
+
+def emit_benchmark_json(name: str, benchmark,
+                        extra: "dict | None" = None) -> dict:
+    """emit_json() for a pytest-benchmark fixture's timing stats."""
+    payload = dict(extra or {})
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is not None:
+        payload.update({
+            "mean_s": round(stats.mean, 6),
+            "min_s": round(stats.min, 6),
+            "max_s": round(stats.max, 6),
+            "rounds": stats.rounds,
+        })
+    return emit_json(name, payload)
+
+
 def run_once(benchmark, fn):
     """Run *fn* exactly once under pytest-benchmark timing.
 

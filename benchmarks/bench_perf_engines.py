@@ -10,6 +10,7 @@ of the simulator itself.
 from __future__ import annotations
 
 import pytest
+from bench_common import emit_benchmark_json
 
 from repro.faults.fault import FaultSpec
 from repro.isa.assembler import assemble
@@ -36,6 +37,8 @@ def sha_program():
 def test_perf_assembler(benchmark, sha_source):
     program = benchmark(assemble, sha_source, MR64)
     assert program.instruction_count() > 100
+    emit_benchmark_json("perf_assembler",
+                        benchmark, {"workload": "sha"})
 
 
 def test_perf_functional_engine(benchmark, sha_program):
@@ -46,6 +49,8 @@ def test_perf_functional_engine(benchmark, sha_program):
 
     result = benchmark(run)
     assert result.status.value == "completed"
+    emit_benchmark_json("perf_functional_engine",
+                        benchmark, {"workload": "sha"})
 
 
 def test_perf_pipeline_engine(benchmark, sha_program):
@@ -57,6 +62,8 @@ def test_perf_pipeline_engine(benchmark, sha_program):
     result = benchmark(run)
     assert result.status.value == "completed"
     assert result.cycles > 0
+    emit_benchmark_json("perf_pipeline_engine",
+                        benchmark, {"workload": "sha"})
 
 
 def test_perf_single_injection(benchmark, sha_program):
@@ -71,3 +78,5 @@ def test_perf_single_injection(benchmark, sha_program):
 
     result = benchmark(run)
     assert result.fault_applied
+    emit_benchmark_json("perf_single_injection",
+                        benchmark, {"workload": "sha"})

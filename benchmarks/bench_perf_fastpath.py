@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from bench_common import emit
+from bench_common import emit, emit_json
 
 from repro.injectors.campaign import run_campaign
 from repro.injectors.golden import checkpoint_store, golden_run
@@ -76,5 +76,13 @@ def test_perf_fastpath_speedup():
         f"(early exits: {exits}/{N})",
     ]
     emit("perf_fastpath", "\n".join(lines))
+    emit_json("perf_fastpath", {
+        "workload": WORKLOAD, "config": CONFIG, "n": N,
+        "slow_s": round(t_slow, 3), "fast_s": round(t_fast, 3),
+        "speedup": round(speedup, 3),
+        "capture_s": round(capture, 3),
+        "instructions_skipped": skipped,
+        "instructions_saved": saved, "early_exits": exits,
+    })
     # conservative regression gate; measured ~6x on the dev machine
     assert speedup > 1.5

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_common import emit
+from bench_common import emit, emit_json
 
 from repro.injectors.campaign import run_campaign
 from repro.injectors.golden import cache_dir
@@ -69,4 +69,12 @@ def test_perf_profiler_overhead():
         f"{profile.n_phases} phases x {profile.n_regions} regions)",
     ]
     emit("perf_obs_overhead", "\n".join(lines))
+    emit_json("perf_obs_overhead", {
+        "workload": WORKLOAD, "config": CONFIG, "n": N,
+        "plain_s": round(t_plain, 3),
+        "profiled_s": round(t_profiled, 3),
+        "overhead": round(overhead, 4),
+        "gate": MAX_OVERHEAD,
+        "samples": profile.samples,
+    })
     assert overhead < MAX_OVERHEAD

@@ -81,6 +81,20 @@ def warm(quick: bool = False) -> None:
         tick(run_campaign(workload, "cortex-a72", injector="svf",
                           n=scale.n_svf, seed=scale.seed))
 
+    # ---- two-level planner sweep (bench_perf_planner gate) -----------
+    from repro.core.planner import run_planned_campaign
+    from repro.faults.sampling import samples_for_margin
+
+    planner_n = samples_for_margin(0.08)
+    for workload in ("corner", "smooth", "stringsearch"):
+        for structure in STRUCTURES:
+            tick(run_campaign(workload, "cortex-a72",
+                              injector="gefin", structure=structure,
+                              n=planner_n, seed=scale.seed))
+            tick(run_planned_campaign(
+                workload, "cortex-a72", structure=structure,
+                n=planner_n, seed=scale.seed, target_margin=0.08))
+
     # ---- hardened case study ------------------------------------------
     for workload in CASE_STUDY_WORKLOADS:
         for structure in STRUCTURES:

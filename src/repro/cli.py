@@ -58,6 +58,25 @@ def _progress_flag(args) -> "bool | None":
     return None
 
 
+def _add_planner_flags(parser, with_batch: bool = False) -> None:
+    parser.add_argument("--planner", choices=("naive", "two-level"),
+                        default=None,
+                        help="sampling strategy: 'two-level' "
+                             "partitions the fault population into "
+                             "equivalence classes and stops each "
+                             "cell once its Wilson interval is "
+                             "inside --target-margin (default: "
+                             "naive fixed-n)")
+    parser.add_argument("--target-margin", type=float, default=None,
+                        help="two-level stopping margin on the "
+                             "weighted vulnerability axis "
+                             "(default 0.05)")
+    if with_batch:
+        parser.add_argument("--batch", type=int, default=None,
+                            help="two-level injections per "
+                                 "sequential batch (default 16)")
+
+
 def _add_progress_flags(parser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--progress", action="store_true",
@@ -165,8 +184,17 @@ def _cmd_campaign(args) -> int:
         seed=args.seed, hardened=args.hardened,
         use_cache=not args.no_cache,
         progress=_progress_flag(args),
-        fastpath=args.fastpath)
+        fastpath=args.fastpath,
+        planner=args.planner, target_margin=args.target_margin,
+        batch=args.batch)
     print(campaign.summary())
+    if campaign.plan:
+        plan = campaign.plan
+        print(f"planner  : {plan['planner']} "
+              f"{plan['actual_n']}/{plan['planned_n']} injections "
+              f"({plan['savings']:.2f}x saved), margin "
+              f"{plan['margin_attained']:.4f} <= "
+              f"{plan['target_margin']:.4f}")
     if args.injector == "gefin":
         print(f"HVF      : {campaign.hvf() * 100:.3f}%")
         rates = campaign.fpm_rates()
@@ -360,7 +388,9 @@ def _cmd_study(args) -> int:
     scale = StudyScale(n_avf=args.n_avf, n_pvf=args.n_pvf,
                        n_svf=args.n_svf, seed=args.seed)
     study = CrossLayerStudy(workloads, args.config, scale,
-                            progress=_progress_flag(args))
+                            progress=_progress_flag(args),
+                            planner=args.planner,
+                            target_margin=args.target_margin)
     methods = args.methods.split(",")
     rows = []
     for workload in workloads:
@@ -380,6 +410,25 @@ def _cmd_study(args) -> int:
                   f"{comparison.pairs_considered} opposite pairs, "
                   f"{comparison.effect_disagreements} effect "
                   f"disagreements")
+    if args.planner not in (None, "naive"):
+        from .core.planner import planner_table
+
+        campaigns = []
+        for workload in workloads:
+            if "avf" in methods or "rpvf" in methods:
+                campaigns.extend(
+                    study.avf_campaigns(workload).values())
+            if "pvf" in methods or "rpvf" in methods:
+                campaigns.append(study.pvf_campaign(workload))
+            if "svf" in methods:
+                campaigns.append(study.svf_campaign(workload))
+        rows = planner_table(campaigns)
+        planned = sum(r["planned_n"] for r in rows)
+        actual = sum(r["actual_n"] for r in rows)
+        if actual:
+            print(f"\nstatistical planning: {actual}/{planned} "
+                  f"injections spent across {len(rows)} campaigns "
+                  f"({planned / actual:.2f}x saved)")
     return 0
 
 
@@ -450,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the checkpoint fast path and "
                         "simulate every run from reset (default: "
                         "REPRO_FASTPATH, on)")
+    _add_planner_flags(p, with_batch=True)
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -573,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the checkpoint fast path and "
                         "simulate every run from reset (default: "
                         "REPRO_FASTPATH, on)")
+    _add_planner_flags(p)
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_study)
 

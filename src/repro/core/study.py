@@ -58,7 +58,9 @@ class CrossLayerStudy:
                  config: "MicroarchConfig | str" = "cortex-a72",
                  scale: StudyScale | None = None,
                  hardened: bool = False,
-                 progress: bool | None = None) -> None:
+                 progress: bool | None = None,
+                 planner: str | None = None,
+                 target_margin: float | None = None) -> None:
         self.workloads = tuple(workloads)
         self.config = (config_by_name(config) if isinstance(config, str)
                        else config)
@@ -66,6 +68,13 @@ class CrossLayerStudy:
         self.hardened = hardened
         #: live per-campaign progress on stderr (None = REPRO_PROGRESS)
         self.progress = progress
+        #: sampling strategy for every campaign the study runs:
+        #: ``None``/``"naive"`` = fixed-n, ``"two-level"`` = the
+        #: equivalence-class planner with sequential Wilson stopping
+        #: (see :mod:`repro.core.planner`); the scale's ``n`` then
+        #: acts as the naive-equivalent budget per cell
+        self.planner = planner
+        self.target_margin = target_margin
 
     # ------------------------------------------------------------------
     # campaigns (cached on disk by run_campaign)
@@ -77,7 +86,8 @@ class CrossLayerStudy:
                 workload, self.config, injector="gefin",
                 structure=structure, n=self.scale.n_avf,
                 seed=self.scale.seed, hardened=self.hardened,
-                progress=self.progress)
+                progress=self.progress, planner=self.planner,
+                target_margin=self.target_margin)
             for structure in STRUCTURES
         }
 
@@ -87,13 +97,17 @@ class CrossLayerStudy:
                             model=model, n=self.scale.n_pvf,
                             seed=self.scale.seed,
                             hardened=self.hardened,
-                            progress=self.progress)
+                            progress=self.progress,
+                            planner=self.planner,
+                            target_margin=self.target_margin)
 
     def svf_campaign(self, workload: str) -> CampaignResult:
         return run_campaign(workload, self.config, injector="svf",
                             n=self.scale.n_svf, seed=self.scale.seed,
                             hardened=self.hardened,
-                            progress=self.progress)
+                            progress=self.progress,
+                            planner=self.planner,
+                            target_margin=self.target_margin)
 
     # ------------------------------------------------------------------
     # derived quantities

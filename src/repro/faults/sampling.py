@@ -9,9 +9,13 @@ this reproduction can be reported with its margin.
 from __future__ import annotations
 
 import math
+from statistics import NormalDist
 
 #: two-sided normal quantiles for the confidence levels used in
-#: fault-injection literature
+#: fault-injection literature.  These literature constants are kept as
+#: a fast path (and so that historic margins stay byte-identical);
+#: any other confidence in (0, 1) is computed from the exact normal
+#: quantile below.
 Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
 
@@ -19,8 +23,13 @@ def _z(confidence: float) -> float:
     try:
         return Z_VALUES[confidence]
     except KeyError:
+        pass
+    # CLI round-trips produce floats like 0.9900000000000001; accept
+    # any real confidence level instead of three blessed keys
+    if not 0.0 < confidence < 1.0:
         raise ValueError(
-            f"confidence must be one of {sorted(Z_VALUES)}") from None
+            f"confidence must be in (0, 1), got {confidence!r}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
 
 
 def margin_of_error(n: int, population: float = math.inf,
@@ -51,6 +60,11 @@ def samples_for_margin(margin: float, population: float = math.inf,
     n0 = (z * z) * p * (1.0 - p) / (margin * margin)
     if math.isfinite(population) and population > 1:
         n0 = n0 / (1.0 + (n0 - 1.0) / population)
+        # the finite-population correction asymptotes to the
+        # population itself, but ceil() can overshoot it by one —
+        # which then makes margin_of_error() reject the round-trip
+        # ("cannot sample more than the population")
+        return max(1, min(math.ceil(n0), math.floor(population)))
     return math.ceil(n0)
 
 

@@ -120,6 +120,10 @@ class CampaignResult:
     #: program-phase attribution without re-running the golden
     t_max: float | None = None
     results: list = field(default_factory=list)
+    #: two-level planner record (per-class weights/trials, planned vs
+    #: actual sample counts); ``None`` for naive fixed-``n`` campaigns.
+    #: See :func:`repro.core.planner.run_planned_campaign`.
+    plan: "dict | None" = None
 
     # ------------------------------------------------------------------
     # estimators
@@ -313,6 +317,28 @@ def _campaign_path(meta: tuple) -> "os.PathLike":
     return cache_dir() / f"campaign-{meta[0]}-{meta[1]}-{digest}.json"
 
 
+def _load_cached_campaign(path, schema: int) -> "CampaignResult | None":
+    """Load one campaign sidecar, unlinking stale/corrupt entries.
+
+    An entry whose stored ``schema`` stamp differs from the current
+    :data:`~repro.injectors.golden.CACHE_SCHEMA_VERSION` was written
+    by a different engine schema and is removed so the campaign
+    recomputes (PR-4 invalidation discipline).
+    """
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+        if data.get("schema") != schema:
+            raise ValueError("stale campaign cache schema")
+        return CampaignResult.from_json(data)
+    except (ValueError, TypeError, KeyError, OSError):
+        # tolerate two processes racing to remove (or replace)
+        # the same corrupt/stale entry
+        path.unlink(missing_ok=True)
+        return None
+
+
 def default_workers(n: int) -> int:
     env = os.environ.get("REPRO_WORKERS")
     if env:
@@ -337,7 +363,10 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
                  population: float | None = None,
                  progress: bool | None = None,
                  shard_size: int | None = None,
-                 fastpath: bool | None = None) -> CampaignResult:
+                 fastpath: bool | None = None,
+                 planner: str | None = None,
+                 target_margin: float | None = None,
+                 batch: int | None = None) -> CampaignResult:
     """Run (or load) one fault-injection campaign.
 
     Parameters mirror the paper's experimental axes: *injector* picks
@@ -365,7 +394,31 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     fast path is byte-identical to the slow path — it is deliberately
     NOT part of the cache key, and the differential suite in
     ``tests/test_snapshot_equivalence.py`` holds it to that.
+
+    *planner* selects the sampling strategy: ``None``/``"naive"`` is
+    the fixed-``n`` design above; ``"two-level"`` delegates to
+    :func:`repro.core.planner.run_planned_campaign`, which partitions
+    the fault population into equivalence classes and stops the cell
+    once its Wilson interval is inside *target_margin* — ``n`` then
+    acts as the naive-equivalent budget (the hard cap).
     """
+    if planner not in (None, "naive"):
+        from ..core.planner import (DEFAULT_BATCH,
+                                    DEFAULT_TARGET_MARGIN, PLANNERS,
+                                    run_planned_campaign)
+
+        if planner not in PLANNERS:
+            raise ValueError(f"unknown planner {planner!r}")
+        return run_planned_campaign(
+            workload, config, injector=injector, structure=structure,
+            model=model, n=n, seed=seed,
+            target_margin=(target_margin if target_margin is not None
+                           else DEFAULT_TARGET_MARGIN),
+            batch=batch if batch is not None else DEFAULT_BATCH,
+            hardened=hardened, prefer_live=prefer_live,
+            use_cache=use_cache, workers=workers,
+            population=population, progress=progress,
+            fastpath=fastpath)
     if injector not in INJECTORS:
         raise ValueError(f"unknown injector {injector!r}")
     config_name = config if isinstance(config, str) else config.name
@@ -393,17 +446,9 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
                 digest, schema)
 
     path = _campaign_path(meta)
-    if use_cache and path.exists():
-        try:
-            data = json.loads(path.read_text())
-            if data.get("schema") != schema:
-                raise ValueError("stale campaign cache schema")
-            campaign = CampaignResult.from_json(data)
-        except (ValueError, TypeError, KeyError, OSError):
-            # tolerate two processes racing to remove (or replace)
-            # the same corrupt/stale entry
-            path.unlink(missing_ok=True)
-        else:
+    if use_cache:
+        campaign = _load_cached_campaign(path, schema)
+        if campaign is not None:
             if population is not None:
                 campaign.population = population
             _write_profile_sidecar(campaign, path)

@@ -34,8 +34,9 @@ WATCHDOG_CYCLE_FACTOR = 5
 #: campaign results, checkpoint stores).  Bump whenever the result
 #: format or engine semantics change in a way that could silently mix
 #: stale entries with fresh ones (e.g. the fast-path introduction);
-#: old entries then simply miss and are recomputed.
-CACHE_SCHEMA_VERSION = 3
+#: old entries then simply miss and are recomputed.  Schema 4: the
+#: campaign sidecar gained the two-level planner's ``plan`` record.
+CACHE_SCHEMA_VERSION = 4
 
 
 def cache_dir() -> Path:

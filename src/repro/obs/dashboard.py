@@ -246,6 +246,28 @@ def _divergence_section(report) -> str:
     return "\n\n".join(sections)
 
 
+def _planning_section(campaigns: list) -> str:
+    from ..core.planner import planner_table
+
+    rows = planner_table(campaigns)
+    planned = sum(r["planned_n"] for r in rows)
+    actual = sum(r["actual_n"] for r in rows)
+    table_rows = [[r["cell"], r["planned_n"], r["actual_n"],
+                   f"{r['savings']:.2f}x",
+                   f"{r['margin_attained']:.4f}"
+                   if r["margin_attained"] is not None else "-",
+                   f"{r['target_margin']:.4f}"
+                   if r["target_margin"] is not None else "-",
+                   f"{r['classes']}+{r['pruned']}p"]
+                  for r in rows]
+    overall = (f"{planned / actual:.2f}x" if actual else "-")
+    return render_table(
+        ["campaign", "planned", "actual", "saved", "margin",
+         "target", "classes"], table_rows,
+        title=f"statistical planning ({actual}/{planned} injections "
+              f"spent, {overall} saved)")
+
+
 def _residency_section(profiles: dict) -> str:
     rows = []
     for (workload, config_name, hardened), profile in \
@@ -296,6 +318,8 @@ def render_dashboard(data: DashboardData, color: bool = False) -> str:
         sections.append(_fpm_section(data.fpm_mix))
     if data.divergence is not None and data.divergence.rows:
         sections.append(_divergence_section(data.divergence))
+    if any(getattr(c, "plan", None) for c in data.campaigns):
+        sections.append(_planning_section(data.campaigns))
     if data.profiles:
         sections.append(_residency_section(data.profiles))
     if data.events_summary and data.events_summary["campaigns"]:
@@ -444,6 +468,28 @@ def render_html(data: DashboardData,
                 [[s.label, f"{s.opposite}/{s.pairs}",
                   f"{100 * s.mean_gap:.2f}%", f"{s.score:.3f}"]
                  for s in report.ranking]))
+
+    if any(getattr(c, "plan", None) for c in data.campaigns):
+        from ..core.planner import planner_table
+
+        plan_rows = planner_table(data.campaigns)
+        planned = sum(r["planned_n"] for r in plan_rows)
+        actual = sum(r["actual_n"] for r in plan_rows)
+        saved = f"{planned / actual:.2f}x" if actual else "-"
+        parts.append("<h2>Statistical planning</h2>")
+        parts.append(f'<p class="muted">{actual}/{planned} '
+                     f"injections spent ({saved} saved)</p>")
+        parts.append(_html_table(
+            ["campaign", "planned", "actual", "saved", "margin",
+             "target", "classes"],
+            [[r["cell"], r["planned_n"], r["actual_n"],
+              f"{r['savings']:.2f}x",
+              f"{r['margin_attained']:.4f}"
+              if r["margin_attained"] is not None else "-",
+              f"{r['target_margin']:.4f}"
+              if r["target_margin"] is not None else "-",
+              f"{r['classes']}+{r['pruned']}p"]
+             for r in plan_rows]))
 
     if data.profiles:
         parts.append("<h2>Residency profiles</h2>")

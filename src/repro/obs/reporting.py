@@ -101,6 +101,7 @@ class _Campaign:
         self.outcomes: dict = {}
         self.latency: "Histogram | None" = None
         self.label = key
+        self.plan: "dict | None" = None  # planner_summary payload
 
     def absorb(self, record: dict) -> None:
         kind = record["event"]
@@ -143,6 +144,11 @@ class _Campaign:
             dump = record.get("latency")
             if isinstance(dump, dict):
                 self.latency = _hist_from_dump(dump)
+        elif kind == "planner_summary":
+            self.plan = {k: record.get(k) for k in
+                         ("planner", "planned_n", "actual_n",
+                          "savings", "target_margin",
+                          "margin_attained", "estimate")}
 
 
 def _aggregate(events) -> "dict[str, _Campaign]":
@@ -198,6 +204,8 @@ def report_data(events) -> dict:
                 "p90": round(c.latency.percentile(90), 3),
                 "p99": round(c.latency.percentile(99), 3),
             }
+        if c.plan is not None:
+            entry["plan"] = dict(c.plan)
         out["campaigns"].append(entry)
         for outcome, count in c.outcomes.items():
             out["outcome_totals"][outcome] = \
@@ -257,6 +265,29 @@ def render_report(events, limit: int = 20) -> str:
             ["campaign", "crossed", "mean", "p50", "p90", "p99"],
             rows, title="visibility latency, cycles "
                         "(injection -> architectural crossing)"))
+
+    # --- statistical planning savings ---------------------------------
+    planned_rows = [c for c in recent if c.plan is not None]
+    if planned_rows:
+        planned = sum(c.plan.get("planned_n") or 0
+                      for c in planned_rows)
+        actual = sum(c.plan.get("actual_n") or 0
+                     for c in planned_rows)
+        saved = f"{planned / actual:.2f}x" if actual else "-"
+        rows = [[c.label, c.plan.get("planned_n"),
+                 c.plan.get("actual_n"),
+                 f"{c.plan.get('savings', 0):.2f}x",
+                 f"{c.plan.get('margin_attained'):.4f}"
+                 if c.plan.get("margin_attained") is not None
+                 else "-",
+                 f"{c.plan.get('target_margin'):.4f}"
+                 if c.plan.get("target_margin") is not None
+                 else "-"] for c in planned_rows]
+        sections.append(render_table(
+            ["campaign", "planned", "actual", "saved", "margin",
+             "target"], rows,
+            title=f"statistical planning ({actual}/{planned} "
+                  f"injections spent, {saved} saved)"))
 
     # --- throughput trend ---------------------------------------------
     trend = [rate for c in recent for rate in c.shard_rates]

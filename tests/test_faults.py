@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest
@@ -168,13 +167,38 @@ class TestSamplingStatistics:
         with pytest.raises(ValueError):
             margin_of_error(0)
         with pytest.raises(ValueError):
-            margin_of_error(10, confidence=0.42)
+            margin_of_error(10, confidence=1.5)
+        with pytest.raises(ValueError):
+            margin_of_error(10, confidence=0.0)
         with pytest.raises(ValueError):
             samples_for_margin(1.5)
         with pytest.raises(ValueError):
             wilson_interval(5, 0)
         with pytest.raises(ValueError):
             margin_of_error(200, population=100)
+
+    def test_any_confidence_in_unit_interval(self):
+        """_z() accepts arbitrary confidences, not just the three
+        literature keys — CLI floats like 0.9900000000000001 must
+        work everywhere margins are computed."""
+        # the table fast path keeps the literature's 4-decimal z
+        # constants, so the exact inv_cdf fallback agrees to ~1e-4
+        exact = margin_of_error(2000, confidence=0.99)
+        drifted = margin_of_error(2000,
+                                  confidence=0.9900000000000001)
+        assert drifted == pytest.approx(exact, rel=1e-4)
+        assert margin_of_error(2000, confidence=0.95) == \
+            pytest.approx(margin_of_error(2000, confidence=0.95000001),
+                          rel=1e-4)
+        odd = margin_of_error(2000, confidence=0.42)
+        assert 0 < odd < exact
+
+    def test_samples_for_margin_clamped_to_population(self):
+        """Tight margins on small finite populations must round-trip
+        through margin_of_error, never exceed the population."""
+        n = samples_for_margin(0.01, population=50)
+        assert n <= 50
+        margin_of_error(n, population=50)  # must not raise
 
 
 @settings(max_examples=150, deadline=None)
@@ -186,6 +210,26 @@ def test_margin_bounded_by_worst_case(n, p, confidence):
     actual = margin_of_error(n, p=p, confidence=confidence)
     assert actual <= worst + 1e-12
     assert 0 < actual < 1 or n == 2
+
+
+@settings(max_examples=150, deadline=None)
+@given(margin=st.floats(0.001, 0.5),
+       population=st.integers(2, 100_000),
+       confidence=st.sampled_from([0.90, 0.95, 0.99]))
+def test_samples_for_margin_round_trip(margin, population,
+                                       confidence):
+    """samples_for_margin() <-> margin_of_error() round-trip: the
+    recommended n never exceeds the population, and sampling it
+    attains the requested margin (or the population-exhausted best)."""
+    n = samples_for_margin(margin, population=population,
+                           confidence=confidence)
+    assert 1 <= n <= population
+    attained = margin_of_error(n, population=population,
+                               confidence=confidence)
+    # either the margin is attained, or the whole population is
+    # sampled (margin 0 by the finite-population correction) or one
+    # short of it (the ceil/clamp boundary)
+    assert attained <= margin + 1e-12 or n >= population - 1
 
 
 @settings(max_examples=150, deadline=None)
