@@ -30,6 +30,12 @@ Commands
     structure x phase heatmaps, FPM mix, AVF/PVF/SVF/rPVF divergence
     with opposite-direction flags; ``--html`` writes a
     self-contained HTML file.  Never re-simulates.
+``serve``
+    Live campaign observatory: serves the dashboard as a
+    self-updating page (SSE tail of events.jsonl), JSON APIs over
+    the cached sidecars, and a Prometheus ``/metrics`` endpoint.
+    Renders from sidecars/events only; per-run trace replay is off
+    unless ``--allow-replay``.
 ``study``
     Cross-layer comparison over a workload set (mini Fig. 4/Table III).
 ``casestudy WORKLOAD``
@@ -310,7 +316,7 @@ def _cmd_report(args) -> int:
 def _cmd_dashboard(args) -> int:
     from .injectors.golden import cache_dir
     from .obs.dashboard import (build_dashboard, render_dashboard,
-                                render_html)
+                                render_html, resolve_color_mode)
 
     events = args.events if args.events \
         else cache_dir() / "events.jsonl"
@@ -318,13 +324,27 @@ def _cmd_dashboard(args) -> int:
                            events_path=events,
                            n_phases=args.phases,
                            n_regions=args.regions)
-    color = sys.stdout.isatty() if args.color is None else args.color
-    print(render_dashboard(data, color=color))
+    print(render_dashboard(data, color=resolve_color_mode(args.color)))
     if args.html:
         from pathlib import Path
 
         Path(args.html).write_text(render_html(data))
         print(f"\nwrote {args.html}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .obs.server import serve
+
+    def announce(line: str) -> None:
+        # the bound address goes to stdout unbuffered: with --port 0
+        # it is the only way a test/CI harness learns the port
+        print(line, flush=True)
+
+    serve(host=args.host, port=args.port, announce=announce,
+          cache_path=args.cache, events_path=args.events,
+          allow_replay=args.allow_replay,
+          poll_interval=args.poll_interval)
     return 0
 
 
@@ -590,6 +610,29 @@ def build_parser() -> argparse.ArgumentParser:
                        action="store_const", const=False,
                        help="force ANSI colour off")
     p.set_defaults(func=_cmd_dashboard)
+
+    p = sub.add_parser(
+        "serve",
+        help="live campaign observatory (SSE dashboard + JSON APIs)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port; 0 binds an ephemeral port and "
+                        "prints the bound address on stdout")
+    p.add_argument("--cache", default=None,
+                   help="campaign cache directory (default: "
+                        "REPRO_CACHE_DIR)")
+    p.add_argument("--events", default=None,
+                   help="events.jsonl to tail (default: the cache "
+                        "directory's log)")
+    p.add_argument("--allow-replay", action="store_true",
+                   help="enable the per-run trace drill-down "
+                        "endpoint (the one route that simulates; "
+                        "everything else renders from sidecars)")
+    p.add_argument("--poll-interval", type=float, default=0.5,
+                   help="SSE tail poll period in seconds "
+                        "(default 0.5)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("trace", help="dynamic instruction trace")
     common(p)

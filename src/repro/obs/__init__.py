@@ -16,6 +16,9 @@
   per-outcome campaign attribution by (phase x bit region).
 * :mod:`~repro.obs.dashboard` — ``repro dashboard``: the cross-layer
   vulnerability map as ANSI text and self-contained HTML.
+* :mod:`~repro.obs.server` — ``repro serve``: the live campaign
+  observatory (SSE event tailing, sidecar JSON APIs, per-run trace
+  drill-down, Prometheus ``/metrics``).
 """
 
 from .events import EventLog

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import html
 import json
+import os
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -162,21 +164,68 @@ def build_dashboard(cache_path: "Path | str | None" = None,
 # ---------------------------------------------------------------------------
 # ANSI / plain-text rendering
 # ---------------------------------------------------------------------------
-def _cell_text(value: float, peak: float, color: bool) -> str:
+def resolve_color_mode(force: "bool | None" = None,
+                       stream=None) -> str:
+    """Pick the ANSI colour depth: ``"off"``, ``"8"`` or ``"256"``.
+
+    Honours the ecosystem conventions the raw ``isatty`` check
+    missed: a non-empty ``NO_COLOR`` disables colour outright (unless
+    the user *explicitly* forced it on, which outranks the ambient
+    default), ``TERM=dumb`` or an unset ``TERM`` disables it, and a
+    ``TERM`` that does not advertise 256-colour support falls back to
+    the 8-colour SGR palette instead of emitting raw 256-colour
+    escapes the terminal cannot render.
+    """
+    term = os.environ.get("TERM", "")
+    depth = "256" if "256" in term else "8"
+    if force is False:
+        return "off"
+    if force is True:
+        return depth
+    if os.environ.get("NO_COLOR", "") != "":
+        return "off"
+    if not term or term == "dumb":
+        return "off"
+    stream = stream if stream is not None else sys.stdout
+    if not getattr(stream, "isatty", lambda: False)():
+        return "off"
+    return depth
+
+
+def _coerce_mode(color) -> str:
+    """Accept legacy booleans next to the mode strings."""
+    if color is True:
+        return "256"
+    if color is False or color is None:
+        return "off"
+    return color
+
+
+def _cell_text(value: float, peak: float, mode: str) -> str:
     frac = value / peak if peak > 0 else 0.0
     glyph = RAMP[min(len(RAMP) - 1, round(frac * (len(RAMP) - 1)))]
     text = f"{glyph * 2}{100 * value:5.1f}%"
-    if color and frac > 0:
+    if mode == "off" or frac <= 0:
+        return text
+    if mode == "256":
         # 256-colour ramp black -> red (232..: grayscale; 52/88/124/
         # 160/196: reds); keeps the default terminal palette intact
         reds = (52, 88, 124, 160, 196)
         code = reds[min(len(reds) - 1, int(frac * len(reds)))]
         return f"\x1b[38;5;{code}m{text}\x1b[0m"
-    return text
+    # 8-colour fallback: faint / normal / bold red carry the ramp
+    sgr = "2;31" if frac < 1 / 3 else "31" if frac < 2 / 3 else "1;31"
+    return f"\x1b[{sgr}m{text}\x1b[0m"
 
 
-def render_heatmap(heatmap: Heatmap, color: bool = False) -> str:
-    """Render one heatmap as an aligned glyph/percent grid."""
+def render_heatmap(heatmap: Heatmap, color="off") -> str:
+    """Render one heatmap as an aligned glyph/percent grid.
+
+    *color* is a depth from :func:`resolve_color_mode` (``"off"`` /
+    ``"8"`` / ``"256"``); booleans are accepted for compatibility
+    (``True`` means 256-colour).
+    """
+    mode = _coerce_mode(color)
     peak = heatmap.peak
     label_w = max([len(str(r)) for r in heatmap.row_labels] + [4])
     out = [heatmap.title, "-" * len(heatmap.title)]
@@ -184,7 +233,7 @@ def render_heatmap(heatmap: Heatmap, color: bool = False) -> str:
         str(c).center(8) for c in heatmap.col_labels)
     out.append(header.rstrip())
     for label, row in zip(heatmap.row_labels, heatmap.values):
-        cells = "  ".join(_cell_text(v, peak, color) for v in row)
+        cells = "  ".join(_cell_text(v, peak, mode) for v in row)
         out.append(f"{str(label).ljust(label_w)}  {cells}")
     out.append(f"{'scale'.ljust(label_w)}  0%  [{RAMP}]  "
                f"{100 * peak:.1f}%")
@@ -303,8 +352,9 @@ def _events_section(summary: dict) -> str:
     return "\n\n".join(sections)
 
 
-def render_dashboard(data: DashboardData, color: bool = False) -> str:
+def render_dashboard(data: DashboardData, color="off") -> str:
     """Render the full dashboard as ANSI/plain text."""
+    color = _coerce_mode(color)
     if not data.campaigns:
         return ("no campaign sidecars found — run a campaign first "
                 "(e.g. `python -m repro campaign sha`)")
@@ -402,22 +452,86 @@ class _RawHTML(str):
     """A pre-escaped table cell (already wrapped in ``<td>``)."""
 
 
-def render_html(data: DashboardData,
-                title: str = "repro vulnerability dashboard") -> str:
-    """Render the dashboard as one self-contained HTML document."""
-    parts = ["<!DOCTYPE html>", '<html lang="en"><head>',
-             '<meta charset="utf-8">',
-             f"<title>{html.escape(title)}</title>",
-             f"<style>{_CSS}</style>", "</head><body>",
-             f"<h1>{html.escape(title)}</h1>",
-             f'<p class="muted">{len(data.campaigns)} campaigns, '
-             f"{len(data.profiles)} residency profiles; "
-             f"rendered from cached sidecars only — no "
-             f"re-simulation.</p>"]
+def _events_html(summary: "dict | None") -> list:
+    """The live-updatable sections: campaign throughput, outcome mix,
+    throughput sparkline and planner savings, each inside a div with
+    a stable id.  The static ``--html`` page renders them once; the
+    observatory's SSE script patches the same divs in place as
+    ``events.jsonl`` grows.
+    """
+    summary = summary if summary and summary.get("campaigns") else {
+        "campaigns": [], "outcome_totals": {}, "retries": []}
+    parts = ["<h2>Campaign throughput/latency</h2>",
+             '<div id="live-campaigns">']
+    if summary["campaigns"]:
+        rows = [[c["label"], c["runs"], f"{c['elapsed']:.1f}s",
+                 f"{c['runs_per_sec']:.1f}",
+                 (f"{c['latency']['p50']:.0f}/"
+                  f"{c['latency']['p99']:.0f}"
+                  if "latency" in c else "-")]
+                for c in summary["campaigns"]]
+        parts.append(_html_table(
+            ["campaign", "runs", "elapsed", "runs/s",
+             "latency p50/p99"], rows))
+    parts.append("</div>")
+
+    parts.append('<div id="live-outcomes">')
+    totals = summary["outcome_totals"]
+    grand = sum(totals.values())
+    if grand:
+        parts.append("<h2>Outcome mix</h2>")
+        parts.append(_html_table(
+            ["outcome", "runs", "share"],
+            [[k, v, f"{100 * v / grand:.1f}%"]
+             for k, v in sorted(totals.items(),
+                                key=lambda kv: -kv[1])]))
+    parts.append("</div>")
+
+    parts.append('<div id="live-throughput">')
+    trend = [r for c in summary["campaigns"]
+             for r in c["shard_rates"]]
+    if trend:
+        parts.append("<h2>Throughput trend</h2>")
+        parts.append(f'<p class="muted">runs/s per completed shard, '
+                     f"{min(trend):.1f}..{max(trend):.1f}</p>")
+        parts.append(f"<pre>[{html.escape(render_sparkline(trend))}]"
+                     f"</pre>")
+    parts.append("</div>")
+
+    parts.append('<div id="live-planner">')
+    planned_rows = [c for c in summary["campaigns"]
+                    if c.get("plan")]
+    if planned_rows:
+        planned = sum(c["plan"].get("planned_n") or 0
+                      for c in planned_rows)
+        actual = sum(c["plan"].get("actual_n") or 0
+                     for c in planned_rows)
+        saved = f"{planned / actual:.2f}x" if actual else "-"
+        parts.append("<h2>Planner savings (live)</h2>")
+        parts.append(f'<p class="muted">{actual}/{planned} '
+                     f"injections spent ({saved} saved)</p>")
+        parts.append(_html_table(
+            ["campaign", "planned", "actual", "saved"],
+            [[c["label"], c["plan"].get("planned_n"),
+              c["plan"].get("actual_n"),
+              f"{c['plan'].get('savings', 0):.2f}x"]
+             for c in planned_rows]))
+    parts.append("</div>")
+    return parts
+
+
+def html_sections(data: DashboardData) -> list:
+    """The document body shared by :func:`render_html` (static page)
+    and the live observatory (which appends its SSE patch script)."""
+    parts = [
+        f'<p class="muted">{len(data.campaigns)} campaigns, '
+        f"{len(data.profiles)} residency profiles; "
+        f"rendered from cached sidecars only — no "
+        f"re-simulation.</p>"]
     if not data.campaigns:
         parts.append("<p>No campaign sidecars found.</p>")
-        parts.append("</body></html>")
-        return "\n".join(parts)
+        parts.extend(_events_html(data.events_summary))
+        return parts
 
     parts.append("<h2>Vulnerability by structure × program phase"
                  "</h2>")
@@ -505,17 +619,24 @@ def render_html(data: DashboardData,
             ["workload", "structure", "mean occupancy",
              "per-phase trend"], rows))
 
-    if data.events_summary and data.events_summary["campaigns"]:
-        parts.append("<h2>Campaign throughput/latency</h2>")
-        rows = [[c["label"], c["runs"], f"{c['elapsed']:.1f}s",
-                 f"{c['runs_per_sec']:.1f}",
-                 (f"{c['latency']['p50']:.0f}/"
-                  f"{c['latency']['p99']:.0f}"
-                  if "latency" in c else "-")]
-                for c in data.events_summary["campaigns"]]
-        parts.append(_html_table(
-            ["campaign", "runs", "elapsed", "runs/s",
-             "latency p50/p99"], rows))
+    parts.extend(_events_html(data.events_summary))
+    return parts
 
-    parts.append("</body></html>")
+
+def render_html(data: DashboardData,
+                title: str = "repro vulnerability dashboard") -> str:
+    """Render the dashboard as one self-contained HTML document.
+
+    Zero external requests and zero scripts — suitable for CI
+    artifacts.  The live observatory (:mod:`repro.obs.server`) reuses
+    :func:`html_sections` for its served page and adds the SSE patch
+    script on top, so both views render from one code path.
+    """
+    parts = ["<!DOCTYPE html>", '<html lang="en"><head>',
+             '<meta charset="utf-8">',
+             f"<title>{html.escape(title)}</title>",
+             f"<style>{_CSS}</style>", "</head><body>",
+             f"<h1>{html.escape(title)}</h1>",
+             *html_sections(data),
+             "</body></html>"]
     return "\n".join(parts)

@@ -278,6 +278,68 @@ class MetricsRegistry:
         return reg
 
 
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4)
+# ---------------------------------------------------------------------------
+def _prom_name(name: str, namespace: str = "repro") -> str:
+    """Sanitise a registry name into a Prometheus metric name."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_"
+                      for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: dict,
+                      namespace: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dump as Prometheus
+    text exposition format (``text/plain; version=0.0.4``).
+
+    Counters gain the conventional ``_total`` suffix, histograms
+    become cumulative ``_bucket{le=...}`` series with ``_sum`` and
+    ``_count``, and timers are exposed as summaries in seconds.  The
+    observatory's ``/metrics`` endpoint concatenates one of these per
+    registry (the process-wide ``REPRO_METRICS`` snapshot plus the
+    server's own counters).
+    """
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name, namespace)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prom_name(name, namespace)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, dump in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name, namespace)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(dump["boundaries"], dump["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_prom_value(float(edge))}"}} '
+                         f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {dump["count"]}')
+        lines.append(f"{metric}_sum {_prom_value(float(dump['sum']))}")
+        lines.append(f"{metric}_count {dump['count']}")
+    for name, dump in snapshot.get("timers", {}).items():
+        metric = _prom_name(name, namespace) + "_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_sum {_prom_value(float(dump['total']))}")
+        lines.append(f"{metric}_count {dump['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 _default: "MetricsRegistry | None" = None
 
 

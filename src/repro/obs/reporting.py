@@ -26,17 +26,22 @@ from ..core.report import (render_bar_chart, render_sparkline,
                            render_table)
 from .metrics import Histogram
 
-__all__ = ["iter_events", "load_events", "render_report",
-           "report_data"]
+__all__ = ["EventTail", "ReportAggregator", "iter_events",
+           "load_events", "render_report", "report_data"]
 
 
 def _open_events(path: "Path | str"):
-    """Open an event log: a path, a ``.gz`` path, or ``-`` (stdin)."""
+    """Open an event log: a path, a ``.gz`` path, or ``-`` (stdin).
+
+    Live logs may be read mid-append; ``errors="replace"`` keeps a
+    torn multi-byte character from raising where a torn JSON line
+    would merely be skipped.
+    """
     if str(path) == "-":
         return sys.stdin
     if str(path).endswith(".gz"):
-        return gzip.open(path, "rt")
-    return open(path)
+        return gzip.open(path, "rt", errors="replace")
+    return open(path, errors="replace")
 
 
 def iter_events(path: "Path | str"):
@@ -45,6 +50,12 @@ def iter_events(path: "Path | str"):
     A generator — million-line logs are aggregated without ever
     materialising the whole list.  *path* may be a plain file, a
     gzip-compressed ``.gz`` file, or ``-`` for stdin.
+
+    Safe on a *live* log: a torn final line (a writer caught
+    mid-append) fails to parse and is skipped rather than raised on,
+    so ``repro report`` can run while a campaign writes.  Use
+    :class:`EventTail` to follow the log and pick that line up once
+    the writer finishes it.
     """
     handle = _open_events(path)
     try:
@@ -71,6 +82,87 @@ def load_events(path: "Path | str"):
     Wrap in ``list()`` if random access is needed.
     """
     return iter_events(path)
+
+
+class EventTail:
+    """Incremental follow-mode reader of a live JSONL event log.
+
+    Each :meth:`poll` returns the events completed since the last
+    poll, in append order.  The tail is deliberately forgiving about
+    everything a live log does:
+
+    * **missing file** — the log may not exist yet (no campaign has
+      run); ``poll`` returns nothing until it appears;
+    * **torn final line** — a writer caught mid-append leaves a line
+      without its newline; the tail *remembers* the offset where it
+      starts instead of consuming it, and re-parses it on the next
+      poll once the writer finished the line;
+    * **rotation/truncation** — the path replaced by a different file
+      (inode change) or rewritten shorter reopens the tail from the
+      start of the replacement, so no post-rotation event is lost.
+
+    ``lag_bytes`` after a poll is how far the reader trails the
+    writer (the torn fragment still buffered in the file).
+    """
+
+    def __init__(self, path: "Path | str") -> None:
+        self.path = Path(path)
+        self._offset = 0           # bytes consumed (complete lines)
+        self._signature = None     # (st_dev, st_ino) of the log file
+        self.lag_bytes = 0
+        self.skipped = 0           # malformed *complete* lines
+
+    def _stat_signature(self):
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None, 0
+        return (stat.st_dev, stat.st_ino), stat.st_size
+
+    def poll(self) -> list:
+        """Return the new fully-written events since the last poll."""
+        signature, size = self._stat_signature()
+        if signature is None:
+            # nothing to read (yet); keep the offset — a vanished log
+            # that reappears under the same inode resumes where the
+            # writer left off, a fresh file resets below
+            self.lag_bytes = 0
+            return []
+        if signature != self._signature or size < self._offset:
+            # rotated or truncated: start over on the new file
+            self._signature = signature
+            self._offset = 0
+        if size <= self._offset:
+            self.lag_bytes = 0
+            return []
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read(size - self._offset)
+        except OSError:
+            return []
+        events = []
+        consumed = 0
+        for raw in chunk.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break                      # torn tail: re-read next poll
+            consumed += len(raw)
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8",
+                                                errors="replace"))
+            except ValueError:
+                self.skipped += 1
+                continue
+            if isinstance(record, dict) and "event" in record:
+                events.append(record)
+            else:
+                self.skipped += 1
+        self._offset += consumed
+        self.lag_bytes = size - self._offset
+        return events
 
 
 def _hist_from_dump(dump: dict) -> "Histogram | None":
@@ -151,16 +243,79 @@ class _Campaign:
                           "margin_attained", "estimate")}
 
 
-def _aggregate(events) -> "dict[str, _Campaign]":
-    campaigns: dict = {}
-    for record in events:
+class ReportAggregator:
+    """Incremental per-campaign aggregation of an event stream.
+
+    The one-shot :func:`report_data`/:func:`render_report` paths feed
+    a whole log through it; the live observatory
+    (:mod:`repro.obs.server`) keeps one per SSE client and absorbs
+    events as :class:`EventTail` delivers them, re-deriving the
+    summary without ever re-reading the log from the start.
+    """
+
+    def __init__(self) -> None:
+        self.campaigns: "dict[str, _Campaign]" = {}
+        self.absorbed = 0
+
+    def absorb(self, record: dict) -> None:
         key = record.get("campaign")
         if not key:
-            continue
-        if key not in campaigns:
-            campaigns[key] = _Campaign(key)
-        campaigns[key].absorb(record)
-    return campaigns
+            return
+        if key not in self.campaigns:
+            self.campaigns[key] = _Campaign(key)
+        self.campaigns[key].absorb(record)
+        self.absorbed += 1
+
+    def absorb_all(self, events) -> None:
+        for record in events:
+            self.absorb(record)
+
+    def data(self) -> dict:
+        """The machine-readable summary (see :func:`report_data`)."""
+        out: dict = {"campaigns": [], "outcome_totals": {},
+                     "retries": []}
+        for c in self.campaigns.values():
+            entry = {
+                "key": c.key,
+                "label": c.label,
+                "n": c.n,
+                "shards": c.shards,
+                "resumed": c.resumed,
+                "workers": c.workers,
+                "runs": c.runs,
+                "elapsed": round(c.elapsed, 3),
+                "runs_per_sec": round(c.runs_per_sec, 3),
+                "outcomes": dict(c.outcomes),
+                "shard_rates": [round(r, 3) for r in c.shard_rates],
+                "retries": sum(a for a, _ in c.retries.values()),
+            }
+            if c.latency is not None and c.latency.count:
+                entry["latency"] = {
+                    "count": c.latency.count,
+                    "mean": round(c.latency.mean, 3),
+                    "p50": round(c.latency.percentile(50), 3),
+                    "p90": round(c.latency.percentile(90), 3),
+                    "p99": round(c.latency.percentile(99), 3),
+                }
+            if c.plan is not None:
+                entry["plan"] = dict(c.plan)
+            out["campaigns"].append(entry)
+            for outcome, count in c.outcomes.items():
+                out["outcome_totals"][outcome] = \
+                    out["outcome_totals"].get(outcome, 0) + count
+            for shard, (attempts, error) in sorted(c.retries.items()):
+                out["retries"].append({"campaign": c.label,
+                                       "shard": shard,
+                                       "attempts": attempts,
+                                       "last_error": error})
+        out["retries"].sort(key=lambda r: -r["attempts"])
+        return out
+
+
+def _aggregate(events) -> "dict[str, _Campaign]":
+    aggregator = ReportAggregator()
+    aggregator.absorb_all(events)
+    return aggregator.campaigns
 
 
 def _outcome_mix(outcomes: dict) -> str:
@@ -179,44 +334,9 @@ def report_data(events) -> dict:
     (``repro report --json``): per-campaign stats, aggregate outcome
     totals, and retry hot spots — nothing is re-simulated.
     """
-    campaigns = _aggregate(events)
-    out: dict = {"campaigns": [], "outcome_totals": {}, "retries": []}
-    for c in campaigns.values():
-        entry = {
-            "key": c.key,
-            "label": c.label,
-            "n": c.n,
-            "shards": c.shards,
-            "resumed": c.resumed,
-            "workers": c.workers,
-            "runs": c.runs,
-            "elapsed": round(c.elapsed, 3),
-            "runs_per_sec": round(c.runs_per_sec, 3),
-            "outcomes": dict(c.outcomes),
-            "shard_rates": [round(r, 3) for r in c.shard_rates],
-            "retries": sum(a for a, _ in c.retries.values()),
-        }
-        if c.latency is not None and c.latency.count:
-            entry["latency"] = {
-                "count": c.latency.count,
-                "mean": round(c.latency.mean, 3),
-                "p50": round(c.latency.percentile(50), 3),
-                "p90": round(c.latency.percentile(90), 3),
-                "p99": round(c.latency.percentile(99), 3),
-            }
-        if c.plan is not None:
-            entry["plan"] = dict(c.plan)
-        out["campaigns"].append(entry)
-        for outcome, count in c.outcomes.items():
-            out["outcome_totals"][outcome] = \
-                out["outcome_totals"].get(outcome, 0) + count
-        for shard, (attempts, error) in sorted(c.retries.items()):
-            out["retries"].append({"campaign": c.label,
-                                   "shard": shard,
-                                   "attempts": attempts,
-                                   "last_error": error})
-    out["retries"].sort(key=lambda r: -r["attempts"])
-    return out
+    aggregator = ReportAggregator()
+    aggregator.absorb_all(events)
+    return aggregator.data()
 
 
 def render_report(events, limit: int = 20) -> str:

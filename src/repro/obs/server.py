@@ -1,0 +1,636 @@
+"""``repro serve``: the live campaign observatory.
+
+A stdlib-only HTTP server (``http.server.ThreadingHTTPServer`` — no
+new dependencies) that turns the repo's batch observability artifacts
+into a *serving* layer while preserving the zero-re-simulation
+contract: every endpoint renders from ``campaign-*.json`` /
+``profile-*.json`` sidecars and ``events.jsonl`` alone.  The single
+deliberate exception is the per-run trace drill-down, which replays
+one ``(seed, index)`` fault with :mod:`repro.obs.tracing` — and only
+when the server was started with ``--allow-replay``.
+
+Endpoints
+---------
+
+``GET /``
+    The PR-5 HTML dashboard as a live page: the same
+    :func:`repro.obs.dashboard.html_sections` body as ``repro
+    dashboard --html`` plus a small inline script that subscribes to
+    ``/events/stream`` and patches the outcome-mix, throughput-
+    sparkline and planner-savings sections in place.
+``GET /events/stream``
+    Server-sent events.  Each connection tails ``events.jsonl``
+    incrementally (:class:`repro.obs.reporting.EventTail`: torn
+    trailing lines are re-read on the next poll, log rotation reopens
+    the file), forwards ``campaign_started`` / ``shard_done`` /
+    ``shard_retry`` / ``campaign_finished`` / ``campaign_summary`` /
+    ``planner_summary`` / ``metrics_snapshot`` records as typed SSE
+    events, and pushes a re-aggregated ``summary`` after every batch.
+``GET /api/campaigns``
+    Discovered campaign sidecars with schema/staleness flags.
+``GET /api/campaign/<id>``
+    One campaign in depth: estimators, FPM mix, (phase x bit-region)
+    attribution via :func:`repro.obs.profiles.attribute_campaign`,
+    and the workload's cross-layer divergence row.
+``GET /api/summary``
+    The aggregated ``repro report --json`` payload for the event log.
+``GET /api/run/<campaign>/<seed>/<index>/trace``
+    Per-run fault-trace drill-down (campaign-identical ``(seed,
+    index)`` derivation).  403 unless ``--allow-replay``.
+``GET /metrics``
+    Prometheus text exposition of the ``REPRO_METRICS`` registry plus
+    the server's own counters (requests, SSE clients, tail lag).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from .dashboard import (_CSS, build_dashboard, html_sections,
+                        scan_campaigns)
+from .metrics import MetricsRegistry, get_registry, render_prometheus
+from .profiles import N_PHASES, N_REGIONS, attribute_campaign
+from .reporting import EventTail, ReportAggregator
+
+__all__ = ["Observatory", "ObservatoryServer", "make_server", "serve"]
+
+#: event kinds forwarded verbatim on the SSE stream (progress deltas
+#: plus the aggregate records the browser patches sections from)
+FORWARDED_EVENTS = frozenset((
+    "campaign_started", "shard_done", "shard_retry",
+    "campaign_finished", "campaign_summary", "planner_summary",
+    "metrics_snapshot",
+))
+
+_CAMPAIGN_ID = re.compile(r"^campaign-[A-Za-z0-9._-]+$")
+
+_TRACE_PATH = re.compile(
+    r"^/api/run/(campaign-[A-Za-z0-9._-]+)/(-?\d+)/(\d+)/trace$")
+
+
+class Observatory:
+    """Shared, read-mostly state behind every request handler thread.
+
+    Owns the sidecar/event-log locations, the replay gate, and an
+    always-on private :class:`MetricsRegistry` for the server's own
+    counters (kept separate from the ``REPRO_METRICS`` process
+    registry so serving never perturbs campaign telemetry).
+    """
+
+    def __init__(self, cache_path: "Path | str | None" = None,
+                 events_path: "Path | str | None" = None,
+                 allow_replay: bool = False,
+                 poll_interval: float = 0.5,
+                 n_phases: int = N_PHASES,
+                 n_regions: int = N_REGIONS) -> None:
+        from ..injectors.golden import cache_dir
+
+        self.cache_path = (Path(cache_path) if cache_path
+                           else cache_dir())
+        self.events_path = (Path(events_path) if events_path
+                            else self.cache_path / "events.jsonl")
+        self.allow_replay = allow_replay
+        self.poll_interval = poll_interval
+        self.n_phases = n_phases
+        self.n_regions = n_regions
+        self.metrics = MetricsRegistry(enabled=True)
+        self.stopping = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # sidecar discovery (never simulates)
+    # ------------------------------------------------------------------
+    def campaign_index(self) -> dict:
+        """Every ``campaign-*.json`` sidecar with staleness flags."""
+        from ..injectors.golden import CACHE_SCHEMA_VERSION
+
+        now = time.time()
+        campaigns = []
+        for path in sorted(self.cache_path.glob("campaign-*.json")):
+            entry: dict = {"id": path.stem}
+            try:
+                data = json.loads(path.read_text())
+                schema = data.get("schema")
+                target = data.get("structure") or data.get("model")
+                entry.update({
+                    "injector": data.get("injector"),
+                    "workload": data.get("workload"),
+                    "config": data.get("config_name"),
+                    "target": target,
+                    "label": (f"{data.get('injector')}:"
+                              f"{data.get('workload')}"
+                              + (f"/{target}" if target else "")),
+                    "n": data.get("n"),
+                    "runs": len(data.get("results", ())),
+                    "seed": data.get("seed"),
+                    "hardened": bool(data.get("hardened")),
+                    "planned": data.get("plan") is not None,
+                    "schema": schema,
+                    "stale": schema != CACHE_SCHEMA_VERSION,
+                })
+            except (ValueError, TypeError, KeyError, OSError):
+                entry["error"] = "unparseable"
+            try:
+                entry["age_seconds"] = round(
+                    max(0.0, now - path.stat().st_mtime), 1)
+            except OSError:
+                pass
+            campaigns.append(entry)
+        profiles = sorted(p.stem for p in
+                          self.cache_path.glob("profile-*.json"))
+        return {"cache": str(self.cache_path),
+                "events": str(self.events_path),
+                "schema": CACHE_SCHEMA_VERSION,
+                "campaigns": campaigns,
+                "profiles": profiles}
+
+    def load_campaign(self, campaign_id: str):
+        """Load one sidecar by id; ``None`` if absent/invalid."""
+        from ..injectors.campaign import CampaignResult
+
+        if not _CAMPAIGN_ID.match(campaign_id):
+            return None
+        path = self.cache_path / f"{campaign_id}.json"
+        try:
+            return CampaignResult.from_json(
+                json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError, OSError):
+            return None
+
+    def campaign_detail(self, campaign_id: str) -> "dict | None":
+        """Estimators + attribution + divergence for one campaign."""
+        from ..core.divergence import METHODS, build_rows
+
+        campaign = self.load_campaign(campaign_id)
+        if campaign is None:
+            return None
+        detail = {
+            "id": campaign_id,
+            "injector": campaign.injector,
+            "workload": campaign.workload,
+            "config": campaign.config_name,
+            "target": campaign.structure or campaign.model,
+            "hardened": campaign.hardened,
+            "seed": campaign.seed,
+            "n": campaign.n,
+            "runs": len(campaign.results),
+            "vulnerability": campaign.vulnerability(),
+            "sdc": campaign.sdc(),
+            "crash": campaign.crash(),
+            "detected": campaign.detected(),
+            "masked": campaign.masked(),
+            "hvf": campaign.hvf(),
+            "fpm_rates": campaign.fpm_rates(),
+            "margin": (None if campaign.n == 0
+                       else campaign.margin()),
+            "plan": campaign.plan,
+            "attribution": attribute_campaign(
+                campaign, n_phases=self.n_phases,
+                n_regions=self.n_regions).to_json(),
+        }
+        # the workload's cross-layer divergence row, from every
+        # sidecar in the cache (pure post-processing)
+        rows = build_rows(scan_campaigns(self.cache_path))
+        for row in rows:
+            if (row.workload == campaign.workload
+                    and row.config_name == campaign.config_name
+                    and row.hardened == campaign.hardened):
+                detail["divergence"] = {
+                    "label": row.label,
+                    "flags": sorted(row.flags),
+                    "layers": {m: row.layers[m].value
+                               for m in METHODS
+                               if m in row.layers},
+                }
+                break
+        return detail
+
+    def run_trace(self, campaign_id: str, seed: int,
+                  index: int) -> "dict | None":
+        """Replay one run with tracing (the ``--allow-replay`` path).
+
+        The sidecar supplies the campaign axes; the ``(seed, index)``
+        derivation matches the campaign workers bit for bit, so the
+        returned timeline describes exactly the run the campaign
+        classified.
+        """
+        from .tracing import trace_run
+
+        campaign = self.load_campaign(campaign_id)
+        if campaign is None:
+            return None
+        trace, result = trace_run(
+            campaign.injector, campaign.workload,
+            campaign.config_name, seed, index=index,
+            structure=campaign.structure, model=campaign.model,
+            hardened=campaign.hardened)
+        return {"campaign": campaign_id,
+                "seed": seed, "index": index,
+                "trace": trace.to_json(),
+                "outcome": result.outcome,
+                "rendered": trace.render()}
+
+    def summary(self) -> dict:
+        """One-shot ``repro report --json`` aggregation of the log."""
+        aggregator = ReportAggregator()
+        tail = EventTail(self.events_path)
+        aggregator.absorb_all(tail.poll())
+        return aggregator.data()
+
+    def prometheus(self) -> str:
+        """``/metrics`` payload: process registry + server counters."""
+        parts = []
+        registry = get_registry()
+        if registry.enabled:
+            parts.append(render_prometheus(registry.snapshot()))
+        parts.append(render_prometheus(self.metrics.snapshot()))
+        return "".join(parts) or "# no metrics enabled\n"
+
+
+# ---------------------------------------------------------------------------
+# the live page (shared dashboard body + SSE patch script)
+# ---------------------------------------------------------------------------
+_LIVE_CSS = _CSS + """
+#live-status { position: fixed; top: 0.6em; right: 0.8em;
+               padding: 0.2em 0.7em; border-radius: 1em;
+               background: #e8f4e8; color: #205020; font-size: 0.85em; }
+#live-status.down { background: #fae4e4; color: #8c1a1a; }
+pre { font: 12px/1.3 ui-monospace, monospace; }
+"""
+
+# The browser-side renderer deliberately mirrors the Python section
+# renderers in dashboard._events_html: the SSE stream delivers the
+# same report_data() JSON, and the script rebuilds the same tables so
+# a patched section is indistinguishable from a freshly served one.
+_LIVE_JS = """
+(function () {
+  'use strict';
+  var GLYPHS = ' .:-=+*#%@';
+  function esc(s) {
+    return String(s).replace(/[&<>"]/g, function (c) {
+      return {'&': '&amp;', '<': '&lt;', '>': '&gt;',
+              '"': '&quot;'}[c];
+    });
+  }
+  function table(headers, rows) {
+    var out = ['<table><thead><tr>'];
+    headers.forEach(function (h) {
+      out.push('<th>' + esc(h) + '</th>');
+    });
+    out.push('</tr></thead><tbody>');
+    rows.forEach(function (row) {
+      out.push('<tr>');
+      row.forEach(function (c) { out.push('<td>' + esc(c) + '</td>'); });
+      out.push('</tr>');
+    });
+    out.push('</tbody></table>');
+    return out.join('');
+  }
+  function spark(values, width) {
+    if (!values.length) { return ''; }
+    if (values.length > width) {
+      var step = values.length / width, bucketed = [];
+      for (var i = 0; i < width; i++) {
+        var lo = Math.floor(i * step);
+        var hi = Math.max(Math.floor((i + 1) * step), lo + 1);
+        var chunk = values.slice(lo, hi);
+        bucketed.push(chunk.reduce(function (a, b) { return a + b; },
+                                   0) / chunk.length);
+      }
+      values = bucketed;
+    }
+    var peak = Math.max.apply(null, values) || 1.0;
+    return values.map(function (v) {
+      return GLYPHS[Math.round(Math.max(0, v) / peak
+                               * (GLYPHS.length - 1))];
+    }).join('');
+  }
+  function render(d) {
+    var el = document.getElementById('live-campaigns');
+    if (el) {
+      el.innerHTML = table(
+        ['campaign', 'runs', 'elapsed', 'runs/s', 'latency p50/p99'],
+        d.campaigns.map(function (c) {
+          return [c.label, c.runs, c.elapsed.toFixed(1) + 's',
+                  c.runs_per_sec.toFixed(1),
+                  c.latency ? c.latency.p50.toFixed(0) + '/'
+                            + c.latency.p99.toFixed(0) : '-'];
+        }));
+    }
+    el = document.getElementById('live-outcomes');
+    if (el) {
+      var totals = d.outcome_totals, grand = 0, keys = [];
+      Object.keys(totals).forEach(function (k) {
+        grand += totals[k]; keys.push(k);
+      });
+      keys.sort(function (a, b) { return totals[b] - totals[a]; });
+      el.innerHTML = grand
+        ? '<h2>Outcome mix</h2>' + table(
+            ['outcome', 'runs', 'share'],
+            keys.map(function (k) {
+              return [k, totals[k],
+                      (100 * totals[k] / grand).toFixed(1) + '%'];
+            }))
+        : '';
+    }
+    el = document.getElementById('live-throughput');
+    if (el) {
+      var trend = [];
+      d.campaigns.forEach(function (c) {
+        trend = trend.concat(c.shard_rates);
+      });
+      el.innerHTML = trend.length
+        ? '<h2>Throughput trend</h2><p class="muted">runs/s per '
+          + 'completed shard, '
+          + Math.min.apply(null, trend).toFixed(1) + '..'
+          + Math.max.apply(null, trend).toFixed(1) + '</p><pre>['
+          + esc(spark(trend, 60)) + ']</pre>'
+        : '';
+    }
+    el = document.getElementById('live-planner');
+    if (el) {
+      var planned = d.campaigns.filter(function (c) {
+        return c.plan;
+      });
+      var want = 0, spent = 0;
+      planned.forEach(function (c) {
+        want += c.plan.planned_n || 0;
+        spent += c.plan.actual_n || 0;
+      });
+      el.innerHTML = planned.length
+        ? '<h2>Planner savings (live)</h2><p class="muted">'
+          + spent + '/' + want + ' injections spent ('
+          + (spent ? (want / spent).toFixed(2) + 'x saved'
+                   : '-') + ')</p>'
+          + table(['campaign', 'planned', 'actual', 'saved'],
+                  planned.map(function (c) {
+                    return [c.label, c.plan.planned_n,
+                            c.plan.actual_n,
+                            (c.plan.savings || 0).toFixed(2) + 'x'];
+                  }))
+        : '';
+    }
+    var status = document.getElementById('live-status');
+    if (status) {
+      status.textContent = 'live \\u2014 ' + d.campaigns.length
+        + ' campaigns';
+      status.className = '';
+    }
+  }
+  var es = new EventSource('/events/stream');
+  es.addEventListener('summary', function (e) {
+    render(JSON.parse(e.data));
+  });
+  es.onerror = function () {
+    var status = document.getElementById('live-status');
+    if (status) {
+      status.textContent = 'disconnected \\u2014 retrying';
+      status.className = 'down';
+    }
+  };
+})();
+"""
+
+
+def render_live_html(data, title: str = "repro live observatory") -> str:
+    """The served dashboard page: shared body + SSE patch script."""
+    parts = ["<!DOCTYPE html>", '<html lang="en"><head>',
+             '<meta charset="utf-8">',
+             f"<title>{html.escape(title)}</title>",
+             f"<style>{_LIVE_CSS}</style>", "</head><body>",
+             '<div id="live-status">connecting…</div>',
+             f"<h1>{html.escape(title)}</h1>",
+             *html_sections(data),
+             f"<script>{_LIVE_JS}</script>",
+             "</body></html>"]
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# the HTTP layer
+# ---------------------------------------------------------------------------
+class ObservatoryServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`Observatory`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, observatory: Observatory) -> None:
+        super().__init__(address, ObservatoryHandler)
+        self.observatory = observatory
+
+    def shutdown(self) -> None:
+        # wake the SSE loops first so handler threads drain promptly
+        self.observatory.stopping = True
+        super().shutdown()
+
+
+class ObservatoryHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-observatory"
+
+    # quiet by default: the access log goes nowhere unless the
+    # observatory is asked to be verbose (the CLI keeps stdout for
+    # the bound-address line)
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    @property
+    def obs(self) -> Observatory:
+        return self.server.observatory
+
+    # ------------------------------------------------------------------
+    # response helpers
+    # ------------------------------------------------------------------
+    def _send_body(self, status: int, body: bytes,
+                   content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2).encode()
+        self._send_body(status, body,
+                        "application/json; charset=utf-8")
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message, "status": status},
+                        status=status)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        self.obs.metrics.counter("server.requests_total").inc()
+        try:
+            if path in ("/", "/index.html"):
+                self._serve_page()
+            elif path == "/events/stream":
+                self._serve_sse()
+            elif path == "/api/campaigns":
+                self._send_json(self.obs.campaign_index())
+            elif path.startswith("/api/campaign/"):
+                self._serve_campaign(path)
+            elif path == "/api/summary":
+                self._send_json(self.obs.summary())
+            elif path.startswith("/api/run/"):
+                self._serve_trace(path)
+            elif path == "/metrics":
+                self._send_body(
+                    200, self.obs.prometheus().encode(),
+                    "text/plain; version=0.0.4; charset=utf-8")
+            else:
+                self.obs.metrics.counter("server.not_found").inc()
+                self._send_error_json(404, f"no route for {path}")
+        except BrokenPipeError:
+            # client went away mid-response; nothing to salvage
+            self.obs.metrics.counter("server.client_aborts").inc()
+        except Exception as exc:  # pragma: no cover - defensive
+            self.obs.metrics.counter("server.errors").inc()
+            try:
+                self._send_error_json(500, f"{type(exc).__name__}: "
+                                           f"{exc}")
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _serve_page(self) -> None:
+        data = build_dashboard(cache_path=self.obs.cache_path,
+                               events_path=self.obs.events_path,
+                               n_phases=self.obs.n_phases,
+                               n_regions=self.obs.n_regions)
+        self._send_body(200, render_live_html(data).encode(),
+                        "text/html; charset=utf-8")
+
+    def _serve_campaign(self, path: str) -> None:
+        campaign_id = path[len("/api/campaign/"):]
+        detail = self.obs.campaign_detail(campaign_id)
+        if detail is None:
+            self._send_error_json(404,
+                                  f"no campaign {campaign_id!r}")
+            return
+        self._send_json(detail)
+
+    def _serve_trace(self, path: str) -> None:
+        match = _TRACE_PATH.match(path)
+        if not match:
+            self._send_error_json(
+                404, "trace path is "
+                     "/api/run/<campaign>/<seed>/<index>/trace")
+            return
+        if not self.obs.allow_replay:
+            self.obs.metrics.counter("server.replay_denied").inc()
+            self._send_error_json(
+                403, "trace replay simulates one run; start the "
+                     "observatory with --allow-replay to enable it")
+            return
+        self.obs.metrics.counter("server.replays").inc()
+        payload = self.obs.run_trace(match.group(1),
+                                     int(match.group(2)),
+                                     int(match.group(3)))
+        if payload is None:
+            self._send_error_json(404,
+                                  f"no campaign {match.group(1)!r}")
+            return
+        self._send_json(payload)
+
+    # ------------------------------------------------------------------
+    # the SSE tail
+    # ------------------------------------------------------------------
+    def _serve_sse(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        # SSE is an unbounded stream: no Content-Length, and the
+        # connection closes when either side goes away
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        clients = self.obs.metrics.gauge("server.sse_clients")
+        open_now = self.obs.metrics.counter("server.sse_opened")
+        open_now.inc()
+        clients.set(clients.value + 1)
+        tail = EventTail(self.obs.events_path)
+        aggregator = ReportAggregator()
+        forwarded = self.obs.metrics.counter(
+            "server.sse_events_forwarded")
+        lag = self.obs.metrics.gauge("server.tail_lag_bytes")
+        try:
+            # prime with history so the first summary is complete
+            aggregator.absorb_all(tail.poll())
+            self._sse_emit("summary", aggregator.data())
+            idle = 0.0
+            while not self.obs.stopping:
+                time.sleep(self.obs.poll_interval)
+                events = tail.poll()
+                lag.set(float(tail.lag_bytes))
+                if not events:
+                    idle += self.obs.poll_interval
+                    if idle >= 15.0:
+                        # comment heartbeat: keeps proxies open and
+                        # surfaces dead clients as BrokenPipeError
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                        idle = 0.0
+                    continue
+                idle = 0.0
+                for record in events:
+                    aggregator.absorb(record)
+                    if record["event"] in FORWARDED_EVENTS:
+                        self._sse_emit(record["event"], record)
+                        forwarded.inc()
+                self._sse_emit("summary", aggregator.data())
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        finally:
+            clients.set(max(0.0, clients.value - 1))
+
+    def _sse_emit(self, event: str, payload: dict) -> None:
+        blob = json.dumps(payload, separators=(",", ":"))
+        self.wfile.write(f"event: {event}\ndata: {blob}\n\n".encode())
+        self.wfile.flush()
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                **observatory_kwargs) -> ObservatoryServer:
+    """Bind an observatory server; ``port=0`` picks an ephemeral
+    port (read the bound one off ``server.server_address``)."""
+    return ObservatoryServer((host, port),
+                             Observatory(**observatory_kwargs))
+
+
+def serve(host: str = "127.0.0.1", port: int = 8000,
+          announce=print, **observatory_kwargs) -> None:
+    """Run the observatory until interrupted.
+
+    *announce* receives the bound address line once the socket is
+    listening — with ``--port 0`` that line is the only way to learn
+    the ephemeral port, so it goes to stdout by default.
+    """
+    server = make_server(host, port, **observatory_kwargs)
+    bound_host, bound_port = server.server_address[:2]
+    announce(f"observatory serving at http://{bound_host}:{bound_port}"
+             f" (cache {server.observatory.cache_path}, events "
+             f"{server.observatory.events_path}, replay "
+             f"{'on' if server.observatory.allow_replay else 'off'})")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

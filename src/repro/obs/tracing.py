@@ -20,7 +20,7 @@ field with the campaign's own ``InjectionResult``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 __all__ = [
     "FaultTrace",
@@ -29,6 +29,7 @@ __all__ = [
     "trace_fault",
     "trace_fault_arch",
     "trace_fault_soft",
+    "trace_run",
 ]
 
 
@@ -105,6 +106,17 @@ class FaultTrace:
         if self.crossing_cycle is None:
             return None
         return max(0.0, self.crossing_cycle - self.inject_cycle)
+
+    def to_json(self) -> dict:
+        """JSON-serialisable dump (the observatory's trace endpoint).
+
+        ``events`` become ``{cycle, kind, detail}`` objects and the
+        derived ``latency_cycles`` is included for consumers that do
+        not want to recompute it.
+        """
+        data = asdict(self)
+        data["latency_cycles"] = self.latency_cycles
+        return data
 
     def render(self) -> str:
         target = self.structure or self.model or "-"
@@ -283,3 +295,28 @@ def trace_fault_soft(workload: str, config_name: str, seed: int,
     """Replay one software-level (SVF/LLFI) campaign run with tracing."""
     return _trace_functional("svf", workload, config_name, None,
                              seed, index, hardened)
+
+
+def trace_run(injector: str, workload: str, config_name: str,
+              seed: int, index: int = 0, structure: str | None = None,
+              model: str | None = None, hardened: bool = False):
+    """Dispatch to the right replay entry point for *injector*.
+
+    The single front door the CLI and the observatory's drill-down
+    endpoint share: gefin needs *structure*, pvf needs *model*, svf
+    needs neither.  Returns ``(FaultTrace, InjectionResult)``.
+    """
+    if injector == "gefin":
+        if not structure:
+            raise ValueError("gefin traces need a structure")
+        return trace_fault(workload, config_name, structure, seed,
+                           index=index, hardened=hardened)
+    if injector == "pvf":
+        if not model:
+            raise ValueError("pvf traces need a model")
+        return trace_fault_arch(workload, config_name, model, seed,
+                                index=index, hardened=hardened)
+    if injector == "svf":
+        return trace_fault_soft(workload, config_name, seed,
+                                index=index, hardened=hardened)
+    raise ValueError(f"unknown injector {injector!r}")

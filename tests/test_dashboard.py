@@ -382,6 +382,17 @@ class TestDashboard:
         assert "\x1b[38;5;" in colored and "\x1b[0m" in colored
         assert "\x1b[" not in render_heatmap(heatmap, color=False)
 
+    def test_eight_colour_fallback_uses_sgr_reds(self):
+        heatmap = Heatmap(title="t", row_labels=["RF"],
+                          col_labels=["P0", "P1", "P2"],
+                          values=[[0.2, 0.5, 1.0]])
+        text = render_heatmap(heatmap, color="8")
+        # the faint/normal/bold red ramp, never a 256-colour escape
+        assert "\x1b[2;31m" in text      # low third: faint
+        assert "\x1b[31m" in text        # middle third: normal
+        assert "\x1b[1;31m" in text      # top third: bold
+        assert "\x1b[38;5;" not in text
+
     def test_html_is_self_contained(self, tmp_path):
         bag = _full_bag({"sha": (0.1, 0.8, 0.2),
                          "crc32": (0.6, 0.2, 0.4)})
@@ -458,3 +469,62 @@ class TestDashboard:
         assert "cross-layer divergence" in out
         assert html_path.exists()
         assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+
+# ---------------------------------------------------------------------------
+# colour-depth resolution
+# ---------------------------------------------------------------------------
+class _Tty:
+    def isatty(self):
+        return True
+
+
+class _Pipe:
+    def isatty(self):
+        return False
+
+
+class TestColorMode:
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv("NO_COLOR", raising=False)
+        monkeypatch.setenv("TERM", "xterm-256color")
+
+    def test_depth_follows_term(self, monkeypatch):
+        from repro.obs.dashboard import resolve_color_mode
+
+        assert resolve_color_mode(stream=_Tty()) == "256"
+        monkeypatch.setenv("TERM", "xterm")
+        assert resolve_color_mode(stream=_Tty()) == "8"
+
+    def test_no_color_convention_wins(self, monkeypatch):
+        from repro.obs.dashboard import resolve_color_mode
+
+        monkeypatch.setenv("NO_COLOR", "1")
+        assert resolve_color_mode(stream=_Tty()) == "off"
+        # ...unless the user explicitly forced colour on
+        assert resolve_color_mode(force=True, stream=_Tty()) == "256"
+
+    def test_dumb_or_absent_term_disables(self, monkeypatch):
+        from repro.obs.dashboard import resolve_color_mode
+
+        monkeypatch.setenv("TERM", "dumb")
+        assert resolve_color_mode(stream=_Tty()) == "off"
+        monkeypatch.delenv("TERM", raising=False)
+        assert resolve_color_mode(stream=_Tty()) == "off"
+
+    def test_pipes_get_no_colour(self):
+        from repro.obs.dashboard import resolve_color_mode
+
+        assert resolve_color_mode(stream=_Pipe()) == "off"
+
+    def test_explicit_off_outranks_everything(self):
+        from repro.obs.dashboard import resolve_color_mode
+
+        assert resolve_color_mode(force=False, stream=_Tty()) == "off"
+
+    def test_force_on_respects_term_depth(self, monkeypatch):
+        from repro.obs.dashboard import resolve_color_mode
+
+        monkeypatch.setenv("TERM", "vt100")
+        assert resolve_color_mode(force=True, stream=_Pipe()) == "8"

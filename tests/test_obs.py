@@ -208,6 +208,78 @@ class TestMetrics:
 
 
 # ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+class TestPrometheus:
+    def _registry(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("campaign.runs").inc(7)
+        reg.counter("server.requests_total").inc(3)
+        reg.gauge("tail.lag_bytes").set(128.0)
+        hist = reg.histogram("latency", (1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(99.0)
+        reg.timer("shard.wall").add(1.25)
+        return reg
+
+    def test_counters_gain_total_suffix_once(self):
+        from repro.obs.metrics import render_prometheus
+
+        text = render_prometheus(self._registry().snapshot())
+        assert "# TYPE repro_campaign_runs_total counter" in text
+        assert "repro_campaign_runs_total 7" in text
+        # a name already ending _total is not doubled
+        assert "repro_server_requests_total 3" in text
+        assert "_total_total" not in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        from repro.obs.metrics import render_prometheus
+
+        text = render_prometheus(self._registry().snapshot())
+        assert 'repro_latency_bucket{le="1"} 1' in text
+        assert 'repro_latency_bucket{le="10"} 1' in text
+        assert 'repro_latency_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_sum 99.5" in text
+        assert "repro_latency_count 2" in text
+
+    def test_gauges_and_timers(self):
+        from repro.obs.metrics import render_prometheus
+
+        text = render_prometheus(self._registry().snapshot())
+        assert "# TYPE repro_tail_lag_bytes gauge" in text
+        assert "repro_tail_lag_bytes 128" in text
+        assert "# TYPE repro_shard_wall_seconds summary" in text
+        assert "repro_shard_wall_seconds_sum 1.25" in text
+        assert "repro_shard_wall_seconds_count 1" in text
+
+    def test_names_are_sanitised(self):
+        from repro.obs.metrics import _prom_name
+
+        assert _prom_name("a.b-c d") == "repro_a_b_c_d"
+        assert _prom_name("2fast") == "repro__2fast"
+        assert _prom_name("plain", namespace="") == "plain"
+
+    def test_empty_snapshot_renders_empty(self):
+        from repro.obs.metrics import render_prometheus
+
+        assert render_prometheus(
+            MetricsRegistry(enabled=True).snapshot()) == ""
+
+    def test_every_line_is_well_formed(self):
+        import re
+
+        from repro.obs.metrics import render_prometheus
+
+        text = render_prometheus(self._registry().snapshot())
+        assert text.endswith("\n")
+        shape = re.compile(
+            r"^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? \S+)$")
+        for line in text.rstrip("\n").split("\n"):
+            assert shape.match(line), line
+
+
+# ---------------------------------------------------------------------------
 # fault tracing
 # ---------------------------------------------------------------------------
 class TestTracing:
@@ -411,3 +483,100 @@ class TestReporting:
         assert data["outcome_totals"] == {"masked": 5, "sdc": 2,
                                           "crash": 1}
         assert json.loads(json.dumps(data)) == data
+
+
+# ---------------------------------------------------------------------------
+# follow-mode tailing
+# ---------------------------------------------------------------------------
+class TestEventTail:
+    def _write(self, path, records):
+        with path.open("a") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_polls_are_incremental(self, tmp_path):
+        from repro.obs.reporting import EventTail
+
+        path = tmp_path / "events.jsonl"
+        self._write(path, [{"event": "a"}, {"event": "b"}])
+        tail = EventTail(path)
+        assert [e["event"] for e in tail.poll()] == ["a", "b"]
+        assert tail.poll() == []            # nothing new
+        self._write(path, [{"event": "c"}])
+        assert [e["event"] for e in tail.poll()] == ["c"]
+        assert tail.lag_bytes == 0
+
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        from repro.obs.reporting import EventTail
+
+        path = tmp_path / "events.jsonl"
+        tail = EventTail(path)
+        assert tail.poll() == []            # no log yet
+        self._write(path, [{"event": "late"}])
+        assert [e["event"] for e in tail.poll()] == ["late"]
+
+    def test_torn_final_line_delivered_exactly_once(self, tmp_path):
+        from repro.obs.reporting import EventTail
+
+        path = tmp_path / "events.jsonl"
+        line = json.dumps({"event": "torn", "n": 1})
+        path.write_text(json.dumps({"event": "whole"}) + "\n"
+                        + line[:10])
+        tail = EventTail(path)
+        assert [e["event"] for e in tail.poll()] == ["whole"]
+        assert tail.lag_bytes == 10         # the tear, still pending
+        assert tail.poll() == []            # not consumed, not retried
+        with path.open("a") as handle:
+            handle.write(line[10:] + "\n")
+        assert [e["event"] for e in tail.poll()] == ["torn"]
+        assert tail.lag_bytes == 0
+        assert tail.skipped == 0            # held back, never dropped
+
+    def test_truncation_restarts_from_the_top(self, tmp_path):
+        from repro.obs.reporting import EventTail
+
+        path = tmp_path / "events.jsonl"
+        self._write(path, [{"event": "old", "i": i}
+                           for i in range(5)])
+        tail = EventTail(path)
+        assert len(tail.poll()) == 5
+        path.write_text(json.dumps({"event": "fresh"}) + "\n")
+        assert [e["event"] for e in tail.poll()] == ["fresh"]
+
+    def test_rotation_reopens_the_replacement(self, tmp_path):
+        from repro.obs.reporting import EventTail
+
+        path = tmp_path / "events.jsonl"
+        self._write(path, [{"event": "before", "i": i}
+                           for i in range(3)])
+        tail = EventTail(path)
+        assert len(tail.poll()) == 3
+        # rotate: the old log moves aside, a new file takes the path
+        path.rename(tmp_path / "events.jsonl.1")
+        self._write(path, [{"event": "after", "i": i}
+                           for i in range(9)])
+        events = tail.poll()
+        assert [e["event"] for e in events] == ["after"] * 9
+
+    def test_garbage_complete_lines_are_counted(self, tmp_path):
+        from repro.obs.reporting import EventTail
+
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "good"}\n'
+                        "not json\n"
+                        '{"no_event": 1}\n')
+        tail = EventTail(path)
+        assert [e["event"] for e in tail.poll()] == ["good"]
+        assert tail.skipped == 2
+
+    def test_aggregator_incremental_matches_batch(self, tmp_path):
+        from repro.obs.reporting import (EventTail, ReportAggregator,
+                                         report_data)
+
+        path = tmp_path / "events.jsonl"
+        tail = EventTail(path)
+        incremental = ReportAggregator()
+        for record in _synthetic_events():
+            self._write(path, [record])
+            incremental.absorb_all(tail.poll())
+        assert incremental.data() == report_data(_synthetic_events())
