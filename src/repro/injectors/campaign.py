@@ -317,6 +317,58 @@ def _campaign_path(meta: tuple) -> "os.PathLike":
     return cache_dir() / f"campaign-{meta[0]}-{meta[1]}-{digest}.json"
 
 
+def _campaign_meta(injector: str, workload: str, config_name: str,
+                   structure: "str | None", model: str, n: int,
+                   seed: int, hardened: bool,
+                   prefer_live: bool) -> tuple:
+    """The cache key tuple for a naive fixed-``n`` campaign.
+
+    Shared by :func:`run_campaign` and the job service
+    (:mod:`repro.service.queue`), which dedups submissions against
+    the sidecar this key maps to — both must derive the exact same
+    path or the dedup silently re-simulates.
+    """
+    from . import golden as golden_mod
+    from .golden import config_digest, workload_digest
+
+    if injector not in INJECTORS:
+        raise ValueError(f"unknown injector {injector!r}")
+    cfg = config_by_name(config_name)
+    digest = (workload_digest(workload, cfg.isa, hardened)
+              + config_digest(cfg))
+    schema = golden_mod.CACHE_SCHEMA_VERSION
+    if injector == "gefin":
+        if structure is None:
+            raise ValueError("gefin campaigns need a structure")
+        return ("gefin", workload, config_name, structure, n, seed,
+                hardened, prefer_live, digest, schema)
+    if injector == "pvf":
+        return ("pvf", workload, config_name, model, n, seed, hardened,
+                digest, schema)
+    return ("svf", workload, config_name, n, seed, hardened,
+            digest, schema)
+
+
+def campaign_cache_path(workload: str, config: "MicroarchConfig | str",
+                        injector: str = "gefin",
+                        structure: str | None = None,
+                        model: str = "WD", n: int = 200, seed: int = 1,
+                        hardened: bool = False,
+                        prefer_live: bool = True) -> "os.PathLike":
+    """The sidecar path :func:`run_campaign` reads/writes for these
+    axes (naive campaigns; planner campaigns key their own store).
+
+    Computing the path never simulates — it hashes the workload
+    image and config geometry only — so callers can probe the cache
+    (e.g. the job service's duplicate-submission dedup) without
+    paying for a run.
+    """
+    config_name = config if isinstance(config, str) else config.name
+    return _campaign_path(_campaign_meta(
+        injector, workload, config_name, structure, model, n, seed,
+        hardened, prefer_live))
+
+
 def _load_cached_campaign(path, schema: int) -> "CampaignResult | None":
     """Load one campaign sidecar, unlinking stale/corrupt entries.
 
@@ -366,7 +418,8 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
                  fastpath: bool | None = None,
                  planner: str | None = None,
                  target_margin: float | None = None,
-                 batch: int | None = None) -> CampaignResult:
+                 batch: int | None = None,
+                 cancel=None) -> CampaignResult:
     """Run (or load) one fault-injection campaign.
 
     Parameters mirror the paper's experimental axes: *injector* picks
@@ -401,6 +454,14 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     the fault population into equivalence classes and stops the cell
     once its Wilson interval is inside *target_margin* — ``n`` then
     acts as the naive-equivalent budget (the hard cap).
+
+    *cancel* (a :class:`threading.Event`) requests cooperative
+    cancellation: the sharded engine checks it at shard boundaries
+    and raises
+    :class:`~repro.injectors.engine.ExecutionCancelled`, leaving the
+    completed-shard checkpoints in place (and the sidecar unwritten)
+    so a later identical call resumes byte-identically.  Naive
+    campaigns only; planner runs ignore it.
     """
     if planner not in (None, "naive"):
         from ..core.planner import (DEFAULT_BATCH,
@@ -419,32 +480,17 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
             use_cache=use_cache, workers=workers,
             population=population, progress=progress,
             fastpath=fastpath)
-    if injector not in INJECTORS:
-        raise ValueError(f"unknown injector {injector!r}")
     config_name = config if isinstance(config, str) else config.name
     cfg = config_by_name(config_name)
 
     from ..uarch.snapshot import fastpath_enabled
     from . import golden as golden_mod
-    from .golden import (checkpoint_store, config_digest,
-                         workload_digest)
+    from .golden import checkpoint_store
 
     use_fastpath = fastpath_enabled(fastpath)
-    digest = (workload_digest(workload, cfg.isa, hardened)
-              + config_digest(cfg))
     schema = golden_mod.CACHE_SCHEMA_VERSION
-    if injector == "gefin":
-        if structure is None:
-            raise ValueError("gefin campaigns need a structure")
-        meta = ("gefin", workload, config_name, structure, n, seed,
-                hardened, prefer_live, digest, schema)
-    elif injector == "pvf":
-        meta = ("pvf", workload, config_name, model, n, seed, hardened,
-                digest, schema)
-    else:
-        meta = ("svf", workload, config_name, n, seed, hardened,
-                digest, schema)
-
+    meta = _campaign_meta(injector, workload, config_name, structure,
+                          model, n, seed, hardened, prefer_live)
     path = _campaign_path(meta)
     if use_cache:
         campaign = _load_cached_campaign(path, schema)
@@ -507,7 +553,8 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         outcome_key=lambda r: r.outcome,
         label=path.stem,
         metrics=registry if registry.enabled else None,
-        repro_dir=cache_dir() / "repros")
+        repro_dir=cache_dir() / "repros",
+        stop_event=cancel)
     elapsed = time.monotonic() - wall_started
 
     campaign = CampaignResult(

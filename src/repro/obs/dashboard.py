@@ -461,7 +461,10 @@ def _events_html(summary: "dict | None") -> list:
     """
     summary = summary if summary and summary.get("campaigns") else {
         "campaigns": [], "outcome_totals": {}, "retries": []}
-    parts = ["<h2>Campaign throughput/latency</h2>",
+    # the job table has no batch data source — it exists only while
+    # served, filled by the SSE script from job_update events
+    parts = ['<div id="live-jobs"></div>',
+             "<h2>Campaign throughput/latency</h2>",
              '<div id="live-campaigns">']
     if summary["campaigns"]:
         rows = [[c["label"], c["runs"], f"{c['elapsed']:.1f}s",

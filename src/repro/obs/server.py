@@ -34,6 +34,14 @@ Endpoints
     and the workload's cross-layer divergence row.
 ``GET /api/summary``
     The aggregated ``repro report --json`` payload for the event log.
+``POST /api/jobs`` · ``GET /api/jobs[/<id>]`` · ``POST /api/jobs/<id>/cancel``
+    The durable campaign job service (requires ``--jobs``): submit a
+    canonical campaign request (idempotent, content-addressed,
+    dedup'd against cached sidecars), poll status with queue position
+    and live progress joined from ``events.jsonl``, cancel at the
+    next shard boundary.  A full queue sheds with ``429`` +
+    ``Retry-After``; without ``--jobs`` every job route answers
+    ``503``.
 ``GET /api/run/<campaign>/<seed>/<index>/trace``
     Per-run fault-trace drill-down (campaign-identical ``(seed,
     index)`` derivation).  403 unless ``--allow-replay``.
@@ -47,6 +55,7 @@ from __future__ import annotations
 import html
 import json
 import re
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -64,11 +73,19 @@ __all__ = ["Observatory", "ObservatoryServer", "make_server", "serve"]
 #: plus the aggregate records the browser patches sections from)
 FORWARDED_EVENTS = frozenset((
     "campaign_started", "shard_done", "shard_retry",
-    "campaign_finished", "campaign_summary", "planner_summary",
-    "metrics_snapshot",
+    "campaign_finished", "campaign_cancelled", "campaign_summary",
+    "planner_summary", "metrics_snapshot", "job_update",
 ))
 
 _CAMPAIGN_ID = re.compile(r"^campaign-[A-Za-z0-9._-]+$")
+
+_JOB_ID = re.compile(r"^job-[0-9a-f]{16}$")
+
+_CANCEL_PATH = re.compile(r"^/api/jobs/(job-[0-9a-f]{16})/cancel$")
+
+#: request bodies above this are rejected before parsing (a campaign
+#: request is a handful of scalars; anything bigger is not one)
+MAX_BODY_BYTES = 64 * 1024
 
 _TRACE_PATH = re.compile(
     r"^/api/run/(campaign-[A-Za-z0-9._-]+)/(-?\d+)/(\d+)/trace$")
@@ -88,7 +105,13 @@ class Observatory:
                  allow_replay: bool = False,
                  poll_interval: float = 0.5,
                  n_phases: int = N_PHASES,
-                 n_regions: int = N_REGIONS) -> None:
+                 n_regions: int = N_REGIONS,
+                 jobs: bool = False,
+                 max_concurrent: int = 2,
+                 queue_depth: int = 64,
+                 job_timeout: "float | None" = None,
+                 lease_ttl: float = 30.0,
+                 drain_grace: float = 5.0) -> None:
         from ..injectors.golden import cache_dir
 
         self.cache_path = (Path(cache_path) if cache_path
@@ -102,6 +125,56 @@ class Observatory:
         self.metrics = MetricsRegistry(enabled=True)
         self.stopping = False
         self._lock = threading.Lock()
+        self.drain_grace = drain_grace
+        self.queue = None
+        self.supervisor = None
+        if jobs:
+            from ..service.queue import JobQueue
+            from ..service.supervisor import Supervisor
+            from .events import EventLog
+
+            self.queue = JobQueue(self.cache_path / "service",
+                                  max_depth=queue_depth,
+                                  lease_ttl=lease_ttl,
+                                  events=EventLog(self.events_path),
+                                  metrics=self.metrics)
+            self.supervisor = Supervisor(self.queue,
+                                         workers=max(1, max_concurrent),
+                                         job_timeout=job_timeout)
+
+    # ------------------------------------------------------------------
+    # the job service (the write path)
+    # ------------------------------------------------------------------
+    def start_service(self) -> None:
+        """Reclaim orphaned jobs and launch the worker pool."""
+        if self.supervisor is not None:
+            self.supervisor.start()
+
+    def stop_service(self, grace: "float | None" = None) -> None:
+        """SIGTERM path: stop leasing, finish or requeue, so a
+        restarted service resumes byte-identically from checkpoints."""
+        if self.supervisor is not None:
+            self.supervisor.drain(self.drain_grace if grace is None
+                                  else grace)
+
+    def job_payload(self, job) -> dict:
+        """One job as the API reports it: record + queue position +
+        live progress joined from ``events.jsonl`` by sidecar stem."""
+        payload = job.to_json()
+        payload["position"] = self.queue.position(job.id)
+        if job.campaign:
+            aggregator = ReportAggregator()
+            aggregator.absorb_all(EventTail(self.events_path).poll())
+            live = aggregator.campaigns.get(job.campaign)
+            if live is not None:
+                payload["progress"] = {
+                    "runs": live.runs,
+                    "n": live.n,
+                    "shards_done": len(live.shard_rates),
+                    "shards": live.shards,
+                    "elapsed": round(live.elapsed, 3),
+                }
+        return payload
 
     # ------------------------------------------------------------------
     # sidecar discovery (never simulates)
@@ -383,9 +456,29 @@ _LIVE_JS = """
       status.className = '';
     }
   }
+  var jobs = {};
+  function renderJobs() {
+    var el = document.getElementById('live-jobs');
+    if (!el) { return; }
+    var ids = Object.keys(jobs);
+    if (!ids.length) { el.innerHTML = ''; return; }
+    ids.sort();
+    el.innerHTML = '<h2>Jobs</h2>' + table(
+      ['job', 'campaign', 'state', 'attempts', 'note'],
+      ids.map(function (id) {
+        var j = jobs[id];
+        return [id, j.label || '-', j.state, j.attempts || 0,
+                j.cached ? 'cache hit' : (j.error || '')];
+      }));
+  }
   var es = new EventSource('/events/stream');
   es.addEventListener('summary', function (e) {
     render(JSON.parse(e.data));
+  });
+  es.addEventListener('job_update', function (e) {
+    var j = JSON.parse(e.data);
+    jobs[j.job] = j;
+    renderJobs();
   });
   es.onerror = function () {
     var status = document.getElementById('live-status');
@@ -416,9 +509,16 @@ def render_live_html(data, title: str = "repro live observatory") -> str:
 # the HTTP layer
 # ---------------------------------------------------------------------------
 class ObservatoryServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the shared :class:`Observatory`."""
+    """ThreadingHTTPServer carrying the shared :class:`Observatory`.
 
-    daemon_threads = True
+    Handler threads are non-daemon so ``server_close`` joins them:
+    an SSE stream gets to flush its final comment frame before the
+    process exits instead of being torn down mid-write.  The streams
+    exit within one poll interval of ``shutdown()`` setting the
+    observatory's stop flag, so the join is bounded.
+    """
+
+    daemon_threads = False
 
     def __init__(self, address, observatory: Observatory) -> None:
         super().__init__(address, ObservatoryHandler)
@@ -448,18 +548,23 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
     # response helpers
     # ------------------------------------------------------------------
     def _send_body(self, status: int, body: bytes,
-                   content_type: str) -> None:
+                   content_type: str,
+                   extra_headers: "dict | None" = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Cache-Control", "no-store")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(self, payload, status: int = 200,
+                   extra_headers: "dict | None" = None) -> None:
         body = json.dumps(payload, indent=2).encode()
         self._send_body(status, body,
-                        "application/json; charset=utf-8")
+                        "application/json; charset=utf-8",
+                        extra_headers=extra_headers)
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json({"error": message, "status": status},
@@ -478,6 +583,10 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
                 self._serve_sse()
             elif path == "/api/campaigns":
                 self._send_json(self.obs.campaign_index())
+            elif path == "/api/jobs":
+                self._serve_jobs()
+            elif path.startswith("/api/jobs/"):
+                self._serve_job(path[len("/api/jobs/"):])
             elif path.startswith("/api/campaign/"):
                 self._serve_campaign(path)
             elif path == "/api/summary":
@@ -501,6 +610,104 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
                                            f"{exc}")
             except OSError:
                 pass
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        self.obs.metrics.counter("server.requests_total").inc()
+        try:
+            cancel = _CANCEL_PATH.match(path)
+            if path == "/api/jobs":
+                self._submit_job()
+            elif cancel is not None:
+                self._cancel_job(cancel.group(1))
+            else:
+                self.obs.metrics.counter("server.not_found").inc()
+                self._send_error_json(404, f"no route for POST {path}")
+        except BrokenPipeError:
+            self.obs.metrics.counter("server.client_aborts").inc()
+        except Exception as exc:  # pragma: no cover - defensive
+            self.obs.metrics.counter("server.errors").inc()
+            try:
+                self._send_error_json(500, f"{type(exc).__name__}: "
+                                           f"{exc}")
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # job endpoints (the write path; 503 unless --jobs)
+    # ------------------------------------------------------------------
+    def _require_service(self) -> bool:
+        if self.obs.queue is None:
+            self._send_error_json(
+                503, "job service disabled; start the observatory "
+                     "with --jobs to accept submissions")
+            return False
+        return True
+
+    def _submit_job(self) -> None:
+        from ..service.queue import InvalidRequest, QueueFull
+
+        if not self._require_service():
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if not 0 < length <= MAX_BODY_BYTES:
+            self._send_error_json(
+                400, f"request body must be 1..{MAX_BODY_BYTES} "
+                     f"bytes of JSON")
+            return
+        try:
+            raw = json.loads(self.rfile.read(length))
+        except ValueError:
+            self._send_error_json(400, "request body must be JSON")
+            return
+        try:
+            job, created = self.obs.queue.submit(raw)
+        except InvalidRequest as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except QueueFull as exc:
+            # graceful degradation: shed load, tell the client when
+            # to come back, and keep every read endpoint serving
+            self._send_json(
+                {"error": str(exc), "status": 429,
+                 "retry_after": exc.retry_after},
+                status=429,
+                extra_headers={"Retry-After": str(exc.retry_after)})
+            return
+        self._send_json(self.obs.job_payload(job),
+                        status=202 if created else 200)
+
+    def _serve_jobs(self) -> None:
+        if not self._require_service():
+            return
+        queue = self.obs.queue
+        self._send_json({
+            "jobs": [self.obs.job_payload(j) for j in queue.jobs()],
+            "depth": queue.depth(),
+            "max_depth": queue.max_depth,
+        })
+
+    def _serve_job(self, job_id: str) -> None:
+        if not self._require_service():
+            return
+        job = (self.obs.queue.load(job_id)
+               if _JOB_ID.match(job_id) else None)
+        if job is None:
+            self._send_error_json(404, f"no job {job_id!r}")
+            return
+        self._send_json(self.obs.job_payload(job))
+
+    def _cancel_job(self, job_id: str) -> None:
+        if not self._require_service():
+            return
+        job = self.obs.queue.cancel(job_id)
+        if job is None:
+            self._send_error_json(404, f"no job {job_id!r}")
+            return
+        self._send_json(self.obs.job_payload(job))
 
     # ------------------------------------------------------------------
     # endpoints
@@ -591,6 +798,10 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
                         self._sse_emit(record["event"], record)
                         forwarded.inc()
                 self._sse_emit("summary", aggregator.data())
+            # graceful shutdown: a final comment frame tells clients
+            # this close is deliberate, not a network fault
+            self.wfile.write(b": observatory stopping\n\n")
+            self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError, OSError):
             pass
         finally:
@@ -615,22 +826,47 @@ def make_server(host: str = "127.0.0.1", port: int = 0,
 
 def serve(host: str = "127.0.0.1", port: int = 8000,
           announce=print, **observatory_kwargs) -> None:
-    """Run the observatory until interrupted.
+    """Run the observatory until interrupted or signalled.
 
     *announce* receives the bound address line once the socket is
     listening — with ``--port 0`` that line is the only way to learn
     the ephemeral port, so it goes to stdout by default.
+
+    SIGTERM/SIGINT trigger a graceful stop: SSE streams flush a
+    final comment frame and close, the job service (if enabled)
+    drains — running shards finish or requeue with their checkpoints
+    on disk — and the call returns normally so the process exits 0.
     """
     server = make_server(host, port, **observatory_kwargs)
+    obs = server.observatory
+
+    def _request_stop(signum=None, frame=None):
+        # shutdown() blocks until serve_forever exits, so it must
+        # run off the signal frame to avoid self-deadlock
+        threading.Thread(target=server.shutdown,
+                         daemon=True).start()
+
+    # handlers go in before the address is announced: anyone who can
+    # see the bound-address line may already be sending SIGTERM
+    try:
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+    except ValueError:
+        # not the main thread (threaded tests): KeyboardInterrupt
+        # and an explicit shutdown() remain the stop paths
+        pass
+    obs.start_service()
     bound_host, bound_port = server.server_address[:2]
     announce(f"observatory serving at http://{bound_host}:{bound_port}"
-             f" (cache {server.observatory.cache_path}, events "
-             f"{server.observatory.events_path}, replay "
-             f"{'on' if server.observatory.allow_replay else 'off'})")
+             f" (cache {obs.cache_path}, events "
+             f"{obs.events_path}, replay "
+             f"{'on' if obs.allow_replay else 'off'}, jobs "
+             f"{'on' if obs.queue is not None else 'off'})")
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:
         pass
     finally:
         server.shutdown()
+        obs.stop_service()
         server.server_close()

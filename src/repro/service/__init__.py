@@ -1,0 +1,37 @@
+"""Durable campaign job service: crash-safe queue + supervisor.
+
+The write path of the observatory (`repro serve --jobs`): campaign
+requests become content-addressed jobs in a crash-safe on-disk queue
+(:mod:`repro.service.queue`), drained by supervised worker threads
+(:mod:`repro.service.supervisor`) through the deterministic sharded
+campaign executor.  Every failure mode — worker SIGKILL, transient
+errors, overload, duplicate submission — degrades to a retry or a
+cache hit, never a lost or corrupted result.
+"""
+
+from .queue import (
+    InvalidRequest,
+    Job,
+    JobQueue,
+    QueueFull,
+    STATES,
+    TRANSITIONS,
+    canonical_request,
+    request_digest,
+    request_label,
+)
+from .supervisor import Supervisor, run_job_campaign
+
+__all__ = [
+    "InvalidRequest",
+    "Job",
+    "JobQueue",
+    "QueueFull",
+    "STATES",
+    "TRANSITIONS",
+    "Supervisor",
+    "canonical_request",
+    "request_digest",
+    "request_label",
+    "run_job_campaign",
+]

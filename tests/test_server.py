@@ -499,9 +499,209 @@ class TestServeCLI:
         monkeypatch.setattr("repro.obs.server.serve", fake_serve)
         code = main(["serve", "--port", "0", "--cache",
                      str(tmp_path), "--allow-replay",
-                     "--poll-interval", "0.25"])
+                     "--poll-interval", "0.25", "--jobs",
+                     "--max-concurrent", "3", "--queue-depth", "9",
+                     "--job-timeout", "120"])
         assert code == 0
         assert calls["port"] == 0
         assert calls["cache_path"] == str(tmp_path)
         assert calls["allow_replay"] is True
         assert calls["poll_interval"] == 0.25
+        assert calls["jobs"] is True
+        assert calls["max_concurrent"] == 3
+        assert calls["queue_depth"] == 9
+        assert calls["job_timeout"] == 120.0
+
+
+# ---------------------------------------------------------------------------
+# the job service write path
+# ---------------------------------------------------------------------------
+def _post(url, body=None, timeout=10):
+    data = (json.dumps(body).encode() if body is not None else b"")
+    request = urllib.request.Request(
+        url, data=data, method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return (response.status, json.loads(response.read()),
+                dict(response.headers))
+
+
+def _job_request(**overrides):
+    raw = {"workload": "crc32", "injector": "svf", "n": 8,
+           "seed": 880001}
+    raw.update(overrides)
+    return raw
+
+
+class TestJobEndpoints:
+    def test_routes_are_503_without_service(self, sidecars):
+        with _serving(sidecars) as (_, base):
+            for method, url in (
+                    ("GET", base + "/api/jobs"),
+                    ("GET", base + "/api/jobs/job-" + "0" * 16),
+                    ("POST", base + "/api/jobs"),
+                    ("POST", base + "/api/jobs/job-" + "0" * 16
+                     + "/cancel")):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    if method == "GET":
+                        _get(url)
+                    else:
+                        _post(url, {})
+                assert err.value.code == 503, url
+                assert "disabled" in json.loads(
+                    err.value.read())["error"]
+
+    def test_submit_poll_dedup_cancel_round_trip(self, sidecars):
+        with _serving(sidecars, jobs=True) as (server, base):
+            obs = server.observatory
+            obs.supervisor.runner = \
+                lambda request, cancel=None: ("campaign-fake", None)
+            obs.start_service()
+            try:
+                status, job, _ = _post(base + "/api/jobs",
+                                       _job_request())
+                assert status == 202
+                assert job["state"] == "queued"
+                assert job["position"] == 0
+                deadline = time.time() + 20
+                while time.time() < deadline:
+                    current = _get_json(f"{base}/api/jobs/{job['id']}")
+                    if current["state"] == "done":
+                        break
+                    time.sleep(0.05)
+                assert current["state"] == "done"
+                assert current["campaign"] == "campaign-fake"
+                # duplicate submission returns the finished job, 200
+                status, again, _ = _post(base + "/api/jobs",
+                                         _job_request())
+                assert status == 200 and again["id"] == job["id"]
+                assert again["state"] == "done"
+                # the listing includes it; cancel is idempotent
+                listing = _get_json(base + "/api/jobs")
+                assert [j["id"] for j in listing["jobs"]] == \
+                    [job["id"]]
+                status, cancelled, _ = _post(
+                    f"{base}/api/jobs/{job['id']}/cancel")
+                assert status == 200
+                assert cancelled["state"] == "done"
+            finally:
+                obs.stop_service(grace=0.1)
+
+    def test_submit_and_cancel_queued_job(self, sidecars):
+        # no supervisor running: the job stays queued until cancelled
+        with _serving(sidecars, jobs=True) as (_, base):
+            status, job, _ = _post(base + "/api/jobs", _job_request())
+            assert status == 202 and job["state"] == "queued"
+            status, cancelled, _ = _post(
+                f"{base}/api/jobs/{job['id']}/cancel")
+            assert status == 200 and cancelled["state"] == "cancelled"
+
+    def test_bad_submissions_are_400(self, sidecars):
+        with _serving(sidecars, jobs=True) as (_, base):
+            for body in ({"workload": "nope"}, None):
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _post(base + "/api/jobs", body)
+                assert err.value.code == 400
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(base + "/api/jobs/job-nope")
+            assert err.value.code == 404
+
+    def test_full_queue_sheds_while_reads_stay_live(self, sidecars):
+        (sidecars / "events.jsonl").write_text(
+            json.dumps(_summary_event("c0", 4)) + "\n")
+        with _serving(sidecars, jobs=True,
+                      queue_depth=1) as (_, base):
+            status, _, _ = _post(base + "/api/jobs",
+                                 _job_request(seed=880011))
+            assert status == 202
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(base + "/api/jobs", _job_request(seed=880012))
+            assert err.value.code == 429
+            assert err.value.headers["Retry-After"] == "5"
+            assert json.loads(err.value.read())["retry_after"] == 5
+            # graceful degradation: shedding writes never takes the
+            # read side down
+            status, _, body = _get(base + "/metrics")
+            assert status == 200
+            assert b"service_jobs_shed" in body
+            client = _SSEClient(base)
+            event, data = client.next_event()
+            assert event == "summary"
+            assert data["campaigns"][0]["runs"] == 4
+            client.sock.close()
+
+    def test_sse_forwards_job_updates(self, sidecars):
+        (sidecars / "events.jsonl").write_text("")
+        with _serving(sidecars, jobs=True,
+                      events_path=sidecars / "events.jsonl") \
+                as (server, base):
+            client = _SSEClient(base)
+            event, _ = client.next_event()
+            assert event == "summary"
+            _post(base + "/api/jobs", _job_request(seed=880021))
+            event, data = client.next_event()
+            assert event == "job_update"
+            assert data["state"] == "queued"
+            assert data["label"].startswith("svf:crc32")
+            client.sock.close()
+
+
+class TestGracefulShutdown:
+    def _spawn_serve(self, tmp_path, *flags):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(__import__("os").environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache", str(tmp_path), *flags],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+
+    @pytest.mark.parametrize("flags", [(), ("--jobs",)])
+    def test_sigterm_exits_zero(self, tmp_path, flags):
+        import signal as signal_mod
+
+        process = self._spawn_serve(tmp_path, *flags)
+        try:
+            line = process.stdout.readline()
+            assert "observatory serving at http://" in line
+            process.send_signal(signal_mod.SIGTERM)
+            code = process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert code == 0, process.stderr.read()
+
+    def test_sigterm_flushes_sse_final_frame(self, tmp_path):
+        import signal as signal_mod
+
+        process = self._spawn_serve(tmp_path)
+        try:
+            line = process.stdout.readline()
+            base = "http://" + line.split("http://", 1)[1].split()[0]
+            client = _SSEClient(base)
+            event, _ = client.next_event()
+            assert event == "summary"
+            process.send_signal(signal_mod.SIGTERM)
+            # the final comment frame announces a deliberate close
+            deadline = time.time() + 20
+            tail = b""
+            while time.time() < deadline:
+                try:
+                    chunk = client.sock.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                tail += chunk
+            assert b": observatory stopping" in tail
+            code = process.wait(timeout=30)
+            assert code == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
