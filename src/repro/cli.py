@@ -196,7 +196,7 @@ def _cmd_campaign(args) -> int:
         progress=_progress_flag(args),
         fastpath=args.fastpath,
         planner=args.planner, target_margin=args.target_margin,
-        batch=args.batch)
+        batch=args.batch, batch_lanes=args.batch_lanes)
     print(campaign.summary())
     if campaign.plan:
         plan = campaign.plan
@@ -526,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the checkpoint fast path and "
                         "simulate every run from reset (default: "
                         "REPRO_FASTPATH, on)")
+    p.add_argument("--batch-lanes", type=int, default=None,
+                   metavar="N",
+                   help="pack up to N pvf/svf runs per bit-parallel "
+                        "batch (2..64; 0 disables; default: "
+                        "REPRO_BATCH, off)")
     _add_planner_flags(p, with_batch=True)
     _add_progress_flags(p)
     p.set_defaults(func=_cmd_campaign)

@@ -20,12 +20,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..injectors.archinj import run_one_pvf
+from ..injectors.batch import run_batched_pvf
 from ..injectors.engine import (atomic_write_text, clear_checkpoints,
                                 run_sharded)
 from ..injectors.gefin import run_one_injection
 from ..injectors.golden import cache_dir, golden_run
 from ..obs import EventLog, ProgressReporter, progress_enabled
 from ..obs.metrics import get_registry
+from ..uarch.batch import resolve_batch_lanes
 from ..uarch.config import config_by_name
 from ..uarch.exceptions import ContainmentError
 from ..uarch.functional import FaultAction
@@ -81,6 +83,34 @@ def _functional_action(case: FuzzCase, golden) -> FaultAction:
     return action
 
 
+def _batch_differential(case: FuzzCase, config, action: FaultAction,
+                        golden, scalar, hardened: bool) -> None:
+    """Cross-check the batched engine against the scalar verdict.
+
+    With ``REPRO_BATCH`` on, every functional fuzz case is also run as
+    a full-width batch of identical lanes — the flip lands in lane 0,
+    lane 63 and every retire boundary in between.  A lane that
+    disagrees with the scalar :class:`InjectionResult` is a containment
+    find like any other, signed ``batch/...`` so reproducers name the
+    diverging engine.
+    """
+    lanes = resolve_batch_lanes()
+    if lanes < 2:
+        return
+    results = run_batched_pvf(case.workload, config.isa,
+                              [action] * lanes, golden,
+                              hardened=hardened)
+    for lane, result in enumerate(results):
+        if result != scalar:
+            raise ContainmentError(
+                "batched execution diverged from the scalar engine",
+                context={"engine": "batch", "lane": lane,
+                         "lanes": lanes,
+                         "scalar": scalar.outcome,
+                         "batched": result.outcome,
+                         "origin": getattr(action, "origin", None)})
+
+
 def execute_case(case: FuzzCase, hardened: bool = False):
     """Run one fuzz case to its verdict.
 
@@ -97,8 +127,11 @@ def execute_case(case: FuzzCase, hardened: bool = False):
                                      case.fault_spec(), golden,
                                      hardened=hardened)
         action = _functional_action(case, golden)
-        return run_one_pvf(case.workload, config.isa, action, golden,
-                           hardened=hardened)
+        result = run_one_pvf(case.workload, config.isa, action, golden,
+                             hardened=hardened)
+        _batch_differential(case, config, action, golden, result,
+                            hardened)
+        return result
     except ContainmentError as exc:
         raise exc.with_context(fuzz_case=case.index,
                                fuzz_seed=case.seed,

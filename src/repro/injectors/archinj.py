@@ -163,6 +163,12 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
             origin=getattr(action, "origin", "architectural state"),
             inject_cycle=float(action.when), hardened=hardened,
             fastpath=use_fastpath)
+    return pvf_result(result, golden, action)
+
+
+def pvf_result(result, golden: GoldenRun, action: FaultAction) \
+        -> InjectionResult:
+    """Classify a finished PVF run (shared by scalar and batched paths)."""
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
         golden.output, golden.exit_code,

@@ -31,8 +31,8 @@ from ..faults.fault import sample_uniform
 from ..faults.outcomes import Outcome
 from ..faults.sampling import margin_of_error
 from ..obs import EventLog, ProgressReporter, progress_enabled
-from ..obs.metrics import (LATENCY_BUCKETS, Histogram, MetricsRegistry,
-                           get_registry)
+from ..obs.metrics import (BATCH_FALLBACKS, LATENCY_BUCKETS, Histogram,
+                           MetricsRegistry, get_registry)
 from ..uarch.config import MicroarchConfig, config_by_name
 from ..uarch.exceptions import ContainmentError
 from .archinj import build_pvf_action, run_one_pvf
@@ -94,6 +94,24 @@ def _one_svf(args: tuple) -> InjectionResult:
                            hardened=hardened, fastpath=fastpath)
     except ContainmentError as exc:
         raise exc.with_context(seed=seed, index=index)
+
+
+# shard codecs (scalar: one InjectionResult per task; batched: a lane
+# group's list per task)
+def _decode_one(entry):
+    return InjectionResult(**entry)
+
+
+def _result_outcome(result):
+    return result.outcome
+
+
+def _encode_many(results):
+    return [asdict(result) for result in results]
+
+
+def _decode_many(entry):
+    return [InjectionResult(**fields) for fields in entry]
 
 
 # ---------------------------------------------------------------------------
@@ -419,6 +437,7 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
                  planner: str | None = None,
                  target_margin: float | None = None,
                  batch: int | None = None,
+                 batch_lanes: int | None = None,
                  cancel=None) -> CampaignResult:
     """Run (or load) one fault-injection campaign.
 
@@ -454,6 +473,15 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
     the fault population into equivalence classes and stops the cell
     once its Wilson interval is inside *target_margin* — ``n`` then
     acts as the naive-equivalent budget (the hard cap).
+
+    *batch_lanes* (``--batch-lanes``; ``None`` defers to
+    ``REPRO_BATCH``, off by default) packs pvf/svf runs into the
+    bit-parallel batched engine (:mod:`repro.uarch.batch`), up to 64
+    lanes per batch.  Like the fast path it is byte-identical to the
+    scalar path and deliberately NOT part of the cache key
+    (``tests/test_batch_equivalence.py`` holds it to that); gefin
+    campaigns fall back to scalar execution with a
+    ``batch_fallback`` event.
 
     *cancel* (a :class:`threading.Event`) requests cooperative
     cancellation: the sharded engine checks it at shard boundaries
@@ -529,32 +557,80 @@ def run_campaign(workload: str, config: "MicroarchConfig | str",
         worker = _one_svf
         weight = 1.0
 
+    from ..uarch.batch import resolve_batch_lanes
+    lanes = resolve_batch_lanes(batch_lanes)
+    lane_groups = None
+    if lanes >= 2 and injector in ("pvf", "svf") and n:
+        from ..isa.registers import register_set
+        from .batch import (_one_pvf_batch, _one_svf_batch,
+                            plan_lane_groups)
+
+        xlen = register_set(cfg.isa).xlen
+        lane_groups = plan_lane_groups(
+            injector, n, lanes, workload=workload,
+            config_name=config_name, seed=seed, xlen=xlen,
+            golden=golden, model=model if injector == "pvf" else None)
+        if injector == "pvf":
+            tasks = [(workload, config_name, model, seed, group,
+                      hardened, use_fastpath) for group in lane_groups]
+            worker = _one_pvf_batch
+        else:
+            tasks = [(workload, config_name, seed, group, hardened,
+                      use_fastpath) for group in lane_groups]
+            worker = _one_svf_batch
+
     n_workers = workers if workers is not None else default_workers(n)
     target = (structure if injector == "gefin"
               else model if injector == "pvf" else None)
     label = (f"{injector}:{workload}@{config_name}"
              + (f"/{target}" if target else ""))
-    reporter = (ProgressReporter(n, label=label)
+    reporter = (ProgressReporter(len(tasks), label=label)
                 if progress_enabled(progress) else None)
     events = EventLog.resolve(default=cache_dir() / "events.jsonl")
     # The process-wide default, so serial-path pipeline metrics land in
     # the same snapshot as the campaign/engine series.
     registry = get_registry()
-    checkpoint_dir = (cache_dir() / "shards" / path.stem
+    if lanes >= 2 and injector == "gefin":
+        # the pipeline engine has no batched mode; record the fallback
+        if registry.enabled:
+            registry.counter(BATCH_FALLBACKS).inc()
+        events.emit("batch_fallback", campaign=path.stem,
+                    injector=injector, lanes=lanes)
+    # Batched shards carry a lane group per task, so their checkpoint
+    # layout is incompatible with scalar shards of the same campaign:
+    # keep them in a distinct directory.
+    stem = path.stem if lane_groups is None else f"{path.stem}-l{lanes}"
+    checkpoint_dir = (cache_dir() / "shards" / stem
                       if use_cache else None)
 
     wall_started = time.monotonic()
+    if lane_groups is None:
+        encode = asdict
+        decode = _decode_one
+        outcome_key = _result_outcome
+    else:
+        encode = _encode_many
+        decode = _decode_many
+        outcome_key = None
     results = run_sharded(
         worker, tasks, workers=n_workers, shard_size=shard_size,
         checkpoint_dir=checkpoint_dir,
-        encode=asdict,
-        decode=lambda entry: InjectionResult(**entry),
+        encode=encode,
+        decode=decode,
         events=events, progress=reporter,
-        outcome_key=lambda r: r.outcome,
+        outcome_key=outcome_key,
         label=path.stem,
         metrics=registry if registry.enabled else None,
         repro_dir=cache_dir() / "repros",
         stop_event=cancel)
+    if lane_groups is not None:
+        # flatten lane groups back into campaign index order; results
+        # are then bit-for-bit the scalar campaign's
+        flat = [None] * n
+        for group, group_results in zip(lane_groups, results):
+            for index, result in zip(group, group_results):
+                flat[index] = result
+        results = flat
     elapsed = time.monotonic() - wall_started
 
     campaign = CampaignResult(

@@ -79,6 +79,12 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
             origin=getattr(action, "origin", "destination register"),
             inject_cycle=float(action.when), hardened=hardened,
             fastpath=use_fastpath)
+    return svf_result(result, golden, action)
+
+
+def svf_result(result, golden: GoldenRun, action: FaultAction) \
+        -> InjectionResult:
+    """Classify a finished SVF run (shared by scalar and batched paths)."""
     verdict: Verdict = classify(
         result.status.value, result.output, result.exit_code,
         golden.output, golden.exit_code,

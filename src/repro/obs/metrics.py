@@ -51,6 +51,16 @@ FASTPATH_INSTRUCTIONS_SKIPPED = "fastpath.instructions_skipped"
 FASTPATH_EARLY_EXITS = "fastpath.early_exits"
 FASTPATH_INSTRUCTIONS_SAVED = "fastpath.instructions_saved"
 
+# Batched bit-parallel engine counters (see :mod:`repro.uarch.batch`):
+# batches executed, lanes packed into them, lanes retired early by the
+# reconvergence scan, lanes evicted to the scalar path, and campaigns
+# that requested batching but fell back to scalar execution.
+BATCH_BATCHES = "engine.batch_batches"
+BATCH_LANES_PACKED = "engine.batch_lanes_packed"
+BATCH_EARLY_RETIRES = "engine.batch_early_retires"
+BATCH_SCALAR_EVICTIONS = "engine.batch_scalar_evictions"
+BATCH_FALLBACKS = "engine.batch_fallbacks"
+
 
 def metrics_enabled(explicit: "bool | None" = None) -> bool:
     """Resolve the metrics switch: argument > ``REPRO_METRICS`` > off."""

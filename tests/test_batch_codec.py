@@ -1,0 +1,146 @@
+"""Property tests for the bit-plane lane codec.
+
+The batched engine's whole representation rests on two invariants:
+packing lane values into uint64 bit-planes and unpacking a single
+lane is lossless, and a fault flipped into one lane can never leak
+into a sibling lane.  These are exercised with seeded stdlib
+``random`` over the full 64-bit word range (including the sign-bit
+corners NumPy's implicit conversions get wrong), plus the end-to-end
+form: pack a batch, step it with zero faults, and every lane must
+unpack to the golden run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.injectors.golden import golden_run
+from repro.kernel.loader import build_system_image
+from repro.uarch import batch as batch_mod
+from repro.uarch.batch import (BatchedFunctionalEngine, MAX_LANES,
+                               pack_lanes, unpack_lane)
+from repro.uarch.functional import FaultAction, FunctionalEngine
+from repro.workloads.suite import load_workload
+
+WORKLOAD = "crc32"
+CONFIG = "cortex-a72"
+ISA = "mrisc64"
+
+pytestmark = pytest.mark.skipif(not batch_mod.batch_available(),
+                                reason="numpy not installed")
+
+CORNERS = (0, 1, 0x7FFF_FFFF_FFFF_FFFF, 0x8000_0000_0000_0000,
+           0xFFFF_FFFF_FFFF_FFFF, 0xDEAD_BEEF_CAFE_F00D)
+
+
+# ---------------------------------------------------------------------------
+# pure codec properties
+# ---------------------------------------------------------------------------
+class TestPackUnpack:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip_random(self, seed):
+        rng = random.Random(f"pack-roundtrip-{seed}")
+        lanes = rng.randrange(1, MAX_LANES + 1)
+        words = rng.randrange(1, 40)
+        values = [[rng.randrange(1 << 64) for _ in range(words)]
+                  for _ in range(lanes)]
+        planes = pack_lanes(values)
+        assert planes.shape == (words, lanes)
+        for lane in range(lanes):
+            assert unpack_lane(planes, lane) == values[lane]
+
+    def test_roundtrip_corners(self):
+        values = [list(CORNERS) for _ in range(4)]
+        planes = pack_lanes(values)
+        for lane in range(4):
+            assert unpack_lane(planes, lane) == list(CORNERS)
+
+    def test_rejects_ragged_input(self):
+        with pytest.raises(ValueError):
+            pack_lanes([[1, 2], [3]])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_lane_flip_stays_in_lane(self, seed):
+        rng = random.Random(f"flip-isolation-{seed}")
+        lanes = rng.randrange(2, MAX_LANES + 1)
+        words = rng.randrange(1, 16)
+        values = [[rng.randrange(1 << 64) for _ in range(words)]
+                  for _ in range(lanes)]
+        planes = pack_lanes(values)
+        victim = rng.randrange(lanes)
+        word = rng.randrange(words)
+        bit = rng.randrange(64)
+        planes[word, victim] ^= batch_mod.np.uint64(1 << bit)
+        for lane in range(lanes):
+            expect = list(values[lane])
+            if lane == victim:
+                expect[word] ^= 1 << bit
+            assert unpack_lane(planes, lane) == expect
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: zero-fault lanes step to the golden result
+# ---------------------------------------------------------------------------
+def _noop_action(when):
+    action = FaultAction("commit", when, lambda engine: None)
+    action.origin = f"no-op at instruction {when}"
+    return action
+
+
+class TestZeroFaultIdentity:
+    def test_noop_lanes_unpack_to_golden(self):
+        golden = golden_run(WORKLOAD, CONFIG)
+        image = build_system_image(load_workload(WORKLOAD, ISA))
+        leader = FunctionalEngine(
+            image, kernel="sim",
+            max_instructions=golden.max_instructions)
+        rng = random.Random("zero-fault")
+        actions = [_noop_action(rng.randrange(golden.instructions))
+                   for _ in range(16)]
+        engine = BatchedFunctionalEngine(leader, actions)
+        outcomes = engine.run()
+        assert engine.scalar_evictions == 0
+        for outcome in outcomes:
+            assert outcome.kind == "result"
+            result = outcome.result
+            assert result.status.value == "completed"
+            assert result.output == golden.output
+            assert result.exit_code == golden.exit_code
+            assert result.instructions == golden.instructions
+
+    def test_lane_reg_flip_is_isolated(self):
+        """A register flip in one lane must not leak into siblings."""
+        golden = golden_run(WORKLOAD, CONFIG)
+        image = build_system_image(load_workload(WORKLOAD, ISA))
+        leader = FunctionalEngine(
+            image, kernel="sim",
+            max_instructions=golden.max_instructions)
+        when = golden.instructions // 2
+
+        def flip(engine):
+            engine.regs[7] ^= 1 << 63
+        victim_action = FaultAction("commit", when, flip)
+        actions = [_noop_action(when) for _ in range(8)]
+        actions[3] = victim_action
+        engine = BatchedFunctionalEngine(leader, actions)
+        outcomes = engine.run()
+        for lane, outcome in enumerate(outcomes):
+            if lane == 3 or outcome.kind != "result":
+                continue
+            assert outcome.result.output == golden.output
+            assert outcome.result.exit_code == golden.exit_code
+
+    def test_materialized_noop_lane_is_golden_trajectory(self):
+        """Mid-run, a zero-diff lane materialises to the leader state."""
+        golden = golden_run(WORKLOAD, CONFIG)
+        image = build_system_image(load_workload(WORKLOAD, ISA))
+        leader = FunctionalEngine(
+            image, kernel="sim",
+            max_instructions=golden.max_instructions)
+        actions = [_noop_action(5) for _ in range(4)]
+        engine = BatchedFunctionalEngine(leader, actions)
+        state = engine.materialize_lane(2)
+        from repro.uarch.snapshot import capture_functional
+        assert state == capture_functional(leader)

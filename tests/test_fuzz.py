@@ -138,10 +138,24 @@ def _corpus_files():
 
 class TestCorpus:
     def test_corpus_is_populated(self):
-        # one pre-hardening escape per injectable structure
+        # one pre-hardening escape per injectable structure, plus the
+        # batched-engine boundary cases (retire-scan stride +/- 1 and
+        # the structural-eviction paths) keyed by functional target
         structures = {json.loads(p.read_text())["case"]["target"]
                       for p in _corpus_files()}
-        assert structures == {"RF", "LSQ", "L1I", "L1D", "L2"}
+        assert structures == {"RF", "LSQ", "L1I", "L1D", "L2",
+                              "AREG", "PC", "CODE"}
+
+    def test_batch_corpus_brackets_retire_stride(self):
+        # the boundary trio sits at an exact multiple of the batched
+        # engine's lane-retire scan stride, one before and one after
+        from repro.uarch.batch import RETIRE_EVERY
+        cycles = sorted(
+            int(json.loads(p.read_text())["case"]["cycle"])
+            for p in CORPUS.glob("batch-retire-boundary-*.json"))
+        exact = cycles[1]
+        assert exact % RETIRE_EVERY == 0
+        assert cycles == [exact - 1, exact, exact + 1]
 
     @pytest.mark.parametrize("path", _corpus_files(),
                              ids=[p.stem for p in _corpus_files()])
