@@ -251,6 +251,23 @@ def _cmd_trace_fault(args) -> int:
     from .obs.tracing import (trace_fault, trace_fault_arch,
                               trace_fault_soft)
 
+    if args.diff:
+        from .obs.dashboard import resolve_color_mode
+        from .obs.trace_diff import load_or_capture, render_diff
+
+        payload, cached = load_or_capture(
+            args.injector, args.workload, args.config, args.seed,
+            index=args.index,
+            structure=(args.structure if args.injector == "gefin"
+                       else None),
+            model=args.model if args.injector == "pvf" else None,
+            hardened=args.hardened)
+        print(render_diff(payload,
+                          color=resolve_color_mode(args.color)))
+        if cached:
+            print("\n(served from the trace sidecar — no "
+                  "re-simulation)", file=sys.stderr)
+        return 0
     if args.injector == "gefin":
         trace, result = trace_fault(
             args.workload, args.config, args.structure, args.seed,
@@ -583,6 +600,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--window", type=int, default=12,
                    help="instructions of golden trace context "
                         "(0 disables)")
+    p.add_argument("--diff", action="store_true",
+                   help="render the golden-vs-faulty differential "
+                        "frames (captured once, then served from "
+                        "the trace sidecar)")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--color", action="store_const", const=True,
+                       default=None,
+                       help="force ANSI colour on (--diff only)")
+    group.add_argument("--no-color", dest="color",
+                       action="store_const", const=False,
+                       help="force ANSI colour off")
     p.set_defaults(func=_cmd_trace_fault)
 
     p = sub.add_parser("report",

@@ -133,7 +133,8 @@ def build_pvf_action(model: str, rng: random.Random, golden: GoldenRun,
 def run_one_pvf(workload: str, isa: str, action: FaultAction,
                 golden: GoldenRun,
                 hardened: bool = False, tracer=None,
-                fastpath: "bool | None" = None) -> InjectionResult:
+                fastpath: "bool | None" = None,
+                arch_probe=None) -> InjectionResult:
     from ..uarch import snapshot
     from .golden import checkpoint_store
 
@@ -141,6 +142,7 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
     image = build_system_image(program)
     engine = FunctionalEngine(image, kernel="sim",
                               max_instructions=golden.max_instructions)
+    engine.arch_probe = arch_probe
     engine.schedule(action)
     if tracer is not None:
         origin = getattr(action, "origin", "architectural state")
@@ -149,7 +151,8 @@ def run_one_pvf(workload: str, isa: str, action: FaultAction,
         # and crossing coincide, with zero latent hardware phase
         tracer.crossed(float(action.when),
                        f"visible at birth via {origin}")
-    use_fastpath = tracer is None and snapshot.fastpath_enabled(fastpath)
+    use_fastpath = (tracer is None and arch_probe is None
+                    and snapshot.fastpath_enabled(fastpath))
     try:
         if use_fastpath:
             store = checkpoint_store(workload, golden.config_name,

@@ -49,7 +49,8 @@ def _dest_flip_action(rng: random.Random, golden: GoldenRun,
 def run_one_svf(workload: str, isa: str, action: FaultAction,
                 golden: GoldenRun,
                 hardened: bool = False, tracer=None,
-                fastpath: "bool | None" = None) -> InjectionResult:
+                fastpath: "bool | None" = None,
+                arch_probe=None) -> InjectionResult:
     from ..uarch import snapshot
     from .golden import checkpoint_store
 
@@ -57,6 +58,7 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
     image = build_system_image(program)
     engine = FunctionalEngine(image, kernel="host",
                               max_instructions=golden.max_instructions)
+    engine.arch_probe = arch_probe
     engine.schedule(action)
     if tracer is not None:
         origin = getattr(action, "origin", "destination register")
@@ -65,7 +67,8 @@ def run_one_svf(workload: str, isa: str, action: FaultAction,
         # committed architectural state
         tracer.crossed(float(action.when),
                        f"visible at birth via {origin}")
-    use_fastpath = tracer is None and snapshot.fastpath_enabled(fastpath)
+    use_fastpath = (tracer is None and arch_probe is None
+                    and snapshot.fastpath_enabled(fastpath))
     try:
         if use_fastpath:
             store = checkpoint_store(workload, golden.config_name,

@@ -9,6 +9,9 @@
   gauges, histograms, timers) gated by ``REPRO_METRICS``.
 * :mod:`~repro.obs.tracing` — per-run fault-propagation traces (the
   flip's life story across the vulnerability stack).
+* :mod:`~repro.obs.trace_diff` — cycle-level golden-vs-faulty
+  differential traces with a memoizing ``trace-*.json`` sidecar
+  store (the drill-down explorer's data layer).
 * :mod:`~repro.obs.reporting` — ``repro report``: aggregate an event
   log into a text dashboard without re-running any simulation.
 * :mod:`~repro.obs.profiles` — residency/attribution profiler gated
@@ -28,6 +31,8 @@ from .profiles import (Attribution, ResidencyProfile,
                        ResidencyProfiler, attribute_campaign,
                        profile_enabled, profile_golden_run)
 from .progress import ProgressReporter, progress_enabled
+from .trace_diff import (TRACE_DIFF_SCHEMA_VERSION, capture_diff,
+                         load_or_capture, render_diff)
 from .tracing import FaultTrace, FaultTracer, TraceEvent
 
 __all__ = [
@@ -39,12 +44,16 @@ __all__ = [
     "ProgressReporter",
     "ResidencyProfile",
     "ResidencyProfiler",
+    "TRACE_DIFF_SCHEMA_VERSION",
     "TraceEvent",
     "attribute_campaign",
+    "capture_diff",
     "get_registry",
+    "load_or_capture",
     "metrics_enabled",
     "profile_enabled",
     "profile_golden_run",
     "progress_enabled",
+    "render_diff",
     "set_registry",
 ]

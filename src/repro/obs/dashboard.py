@@ -36,7 +36,7 @@ from ..core.divergence import (METHODS, analyze_divergence,
 from ..core.report import render_sparkline, render_table
 from ..injectors.campaign import CampaignResult
 from .profiles import (N_PHASES, N_REGIONS, ResidencyProfile,
-                       attribute_campaign)
+                       attribute_campaign, phase_of)
 from .reporting import iter_events, report_data
 
 #: density ramp shared by every text heatmap (index 0 = zero)
@@ -78,6 +78,19 @@ def scan_profiles(cache_path: "Path | str") -> dict:
     return out
 
 
+def scan_traces(cache_path: "Path | str") -> list:
+    """Load every valid ``trace-*.json`` differential-trace sidecar
+    (:mod:`repro.obs.trace_diff`); invalid files are skipped."""
+    from .trace_diff import load_diff
+
+    out = []
+    for path in sorted(Path(cache_path).glob("trace-*.json")):
+        payload = load_diff(path)
+        if payload is not None:
+            out.append(payload)
+    return out
+
+
 @dataclass
 class Heatmap:
     """One labelled grid of vulnerability values in [0, 1]."""
@@ -104,6 +117,8 @@ class DashboardData:
     fpm_mix: dict = field(default_factory=dict)
     divergence: "object | None" = None
     profiles: dict = field(default_factory=dict)
+    #: differential-trace sidecar payloads (repro.obs.trace_diff)
+    traces: list = field(default_factory=list)
     events_summary: "dict | None" = None
     n_phases: int = N_PHASES
     n_regions: int = N_REGIONS
@@ -125,6 +140,7 @@ def build_dashboard(cache_path: "Path | str | None" = None,
     campaigns = scan_campaigns(cache_path)
     data = DashboardData(campaigns=campaigns,
                          profiles=scan_profiles(cache_path),
+                         traces=scan_traces(cache_path),
                          n_phases=n_phases, n_regions=n_regions)
 
     for key, per_structure in sorted(
@@ -390,12 +406,19 @@ th, td { border: 1px solid #ccc; padding: 0.25em 0.6em;
 th { background: #f2f2f2; }
 .flag { color: #b00020; font-weight: 600; }
 .muted { color: #777; }
+.chg { background: #ffe3e3; color: #8c1a1a; font-weight: 600; }
 svg text { font: 11px system-ui, sans-serif; }
 """
 
 
-def _svg_heatmap(heatmap: Heatmap) -> str:
-    """One heatmap as inline SVG (white -> red, labelled cells)."""
+def _svg_heatmap(heatmap: Heatmap,
+                 links: "dict | None" = None) -> str:
+    """One heatmap as inline SVG (white -> red, labelled cells).
+
+    *links* maps ``(row_label, col_index)`` to an href; matching
+    cells become anchors (used to jump from an attribution cell to
+    the per-run differential trace captured in it).
+    """
     cell_w, cell_h = 58, 24
     label_w = 8 + 7 * max([len(str(r))
                            for r in heatmap.row_labels] + [1])
@@ -420,16 +443,20 @@ def _svg_heatmap(heatmap: Heatmap) -> str:
             frac = value / peak if peak > 0 else 0.0
             shade = int(255 * (1 - frac))
             x = label_w + j * cell_w
-            parts.append(
+            href = (links or {}).get((row_label, j))
+            cell = (
                 f'<rect x="{x}" y="{y}" width="{cell_w - 2}" '
                 f'height="{cell_h - 2}" '
                 f'fill="rgb(255,{shade},{shade})" '
                 f'stroke="#ddd"/>')
             text_fill = "#fff" if frac > 0.55 else "#222"
-            parts.append(
+            cell += (
                 f'<text x="{x + (cell_w - 2) // 2}" y="{y + 16}" '
                 f'text-anchor="middle" fill="{text_fill}">'
                 f'{100 * value:.1f}%</text>')
+            if href:
+                cell = (f'<a href="{html.escape(href)}">{cell}</a>')
+            parts.append(cell)
     parts.append(f'<text x="{label_w}" y="{height - 4}" '
                  f'class="muted">peak {100 * peak:.1f}%</text>')
     parts.append("</svg>")
@@ -450,6 +477,136 @@ def _html_table(headers: list, rows: list) -> str:
 
 class _RawHTML(str):
     """A pre-escaped table cell (already wrapped in ``<td>``)."""
+
+
+def _trace_anchor(payload: dict) -> str:
+    """Stable fragment id for one per-run trace section."""
+    target = payload.get("structure") or payload.get("model") or "any"
+    return "-".join(str(x) for x in (
+        "run", payload["injector"], payload["workload"],
+        payload["config"], target, payload["seed"],
+        payload["index"]))
+
+
+def _trace_links(heatmap: Heatmap, traces: list) -> dict:
+    """Attribution-cell links into the per-run trace sections.
+
+    A gefin trace lands on the (structure, injection-phase) cell of
+    its workload's phase heatmap; the phase is recomputed against the
+    heatmap's own column count so ``--phases`` overrides stay
+    consistent.
+    """
+    links: dict = {}
+    n_cols = len(heatmap.col_labels)
+    for payload in traces:
+        if payload["injector"] != "gefin" \
+                or not payload.get("structure"):
+            continue
+        label = _group_label((payload["workload"], payload["config"],
+                              bool(payload.get("hardened"))))
+        if not heatmap.title.startswith(label + " "):
+            continue
+        step = payload["anchors"].get("injected")
+        frame = next((f for f in payload["frames"]
+                      if f["step"] == step), None)
+        if frame is None or not payload.get("t_max"):
+            continue
+        col = phase_of(frame["cycle"], payload["t_max"], n_cols)
+        links[(payload["structure"], col)] = \
+            "#" + _trace_anchor(payload)
+    return links
+
+
+def _traces_html(traces: list) -> list:
+    """Per-run differential trace sections (one per sidecar)."""
+    from .trace_diff import frame_diverges
+
+    parts = ["<h2>Per-run differential traces</h2>",
+             '<p class="muted">golden-vs-faulty state diffs around '
+             "injection/crossing, rendered from "
+             "<code>trace-*.json</code> sidecars — no "
+             "re-simulation. Changed cells are highlighted.</p>"]
+    for payload in traces:
+        target = (payload.get("structure") or payload.get("model")
+                  or "-")
+        title = (f"{payload['injector']}:{payload['workload']}"
+                 f"@{payload['config']}/{target} "
+                 f"seed={payload['seed']} index={payload['index']}")
+        parts.append(f'<h3 id="{_trace_anchor(payload)}">'
+                     f"{html.escape(title)}</h3>")
+        anchors = payload["anchors"]
+        anchor_text = ", ".join(
+            f"{kind} @ step {anchors[kind]}"
+            for kind in ("injected", "crossed")
+            if anchors.get(kind) is not None) or "never applied"
+        outcome = payload["outcome"]
+        outcome_text = outcome["outcome"] + (
+            f" ({outcome['crash_kind']})"
+            if outcome.get("crash_kind") else "")
+        diverging = sum(1 for f in payload["frames"]
+                        if frame_diverges(f))
+        parts.append(
+            f'<p class="muted">{anchor_text} — outcome '
+            f"{html.escape(outcome_text)} — "
+            f"{len(payload['frames'])} frames, {diverging} "
+            f"diverging</p>")
+        names = payload.get("reg_names") or []
+        rows = []
+        for frame in payload["frames"]:
+            diverges = frame_diverges(frame)
+            pc_changed = (frame["golden_pc"] is not None
+                          and frame["golden_pc"] != frame["pc"])
+            pc_text = f"{frame['pc']:#010x}"
+            if pc_changed:
+                pc_text = (f"{frame['golden_pc']:#010x} → "
+                           f"{pc_text}")
+            regs = []
+            for index_str in sorted(frame["regs"], key=int):
+                old, new = frame["regs"][index_str]
+                reg = int(index_str)
+                name = (names[reg] if reg < len(names)
+                        else f"r{reg}")
+                regs.append(f"{name} {old:#x}→{new:#x}")
+            mem_faulty = frame["mem"]["faulty"]
+            mem_golden = frame["mem"]["golden"]
+            mem_changed = mem_faulty != mem_golden
+            mem_text = " / ".join(
+                "-" if m is None else
+                f"{m[0]} {m[1]:#x} x{m[2]}"
+                + (f" = {m[3]:#x}" if m[3] is not None else "")
+                for m in (mem_golden, mem_faulty))
+            structs = frame.get("structs")
+            struct_changes = []
+            if structs and structs.get("golden"):
+                struct_changes = [
+                    f"{key} {structs['golden'][key]}"
+                    f"→{structs['faulty'][key]}"
+                    for key in sorted(structs["faulty"])
+                    if structs["faulty"][key]
+                    != structs["golden"][key]]
+
+            def cell(text, changed):
+                if not changed:
+                    return text
+                return _RawHTML(f'<td class="chg">'
+                                f"{html.escape(str(text))}</td>")
+
+            rows.append([
+                frame["step"],
+                frame["cycle"],
+                cell(pc_text, pc_changed),
+                cell(", ".join(regs) if regs else "-", bool(regs)),
+                cell(mem_text, mem_changed and diverges),
+                cell(", ".join(struct_changes)
+                     if struct_changes else "-",
+                     bool(struct_changes)),
+                ", ".join(frame["marks"]) if frame["marks"] else "-",
+            ])
+        parts.append(_html_table(
+            ["step", payload["unit"], "pc", "changed registers",
+             "mem (golden / faulty)", "structure deltas", "marks"],
+            rows))
+    return parts
 
 
 def _events_html(summary: "dict | None") -> list:
@@ -540,7 +697,8 @@ def html_sections(data: DashboardData) -> list:
                  "</h2>")
     for heatmap in data.phase_heatmaps:
         parts.append(f"<h3>{html.escape(heatmap.title)}</h3>")
-        parts.append(_svg_heatmap(heatmap))
+        parts.append(_svg_heatmap(
+            heatmap, links=_trace_links(heatmap, data.traces)))
     if data.region_heatmaps:
         parts.append("<h2>Vulnerability by structure × bit region"
                      "</h2>")
@@ -621,6 +779,9 @@ def html_sections(data: DashboardData) -> list:
         parts.append(_html_table(
             ["workload", "structure", "mean occupancy",
              "per-phase trend"], rows))
+
+    if data.traces:
+        parts.extend(_traces_html(data.traces))
 
     parts.extend(_events_html(data.events_summary))
     return parts

@@ -4,10 +4,13 @@ A stdlib-only HTTP server (``http.server.ThreadingHTTPServer`` — no
 new dependencies) that turns the repo's batch observability artifacts
 into a *serving* layer while preserving the zero-re-simulation
 contract: every endpoint renders from ``campaign-*.json`` /
-``profile-*.json`` sidecars and ``events.jsonl`` alone.  The single
-deliberate exception is the per-run trace drill-down, which replays
-one ``(seed, index)`` fault with :mod:`repro.obs.tracing` — and only
-when the server was started with ``--allow-replay``.
+``profile-*.json`` / ``trace-*.json`` sidecars and ``events.jsonl``
+alone.  The single deliberate exception is the per-run drill-down
+(``/trace`` and ``/diff``), which simulates one ``(seed, index)``
+fault *at most once* — the differential capture persists to the
+:mod:`repro.obs.trace_diff` sidecar store, every repeat request is a
+pure sidecar read — and only when the server was started with
+``--allow-replay``.
 
 Endpoints
 ---------
@@ -44,7 +47,14 @@ Endpoints
     ``503``.
 ``GET /api/run/<campaign>/<seed>/<index>/trace``
     Per-run fault-trace drill-down (campaign-identical ``(seed,
-    index)`` derivation).  403 unless ``--allow-replay``.
+    index)`` derivation).  403 unless ``--allow-replay``.  Served
+    from the trace sidecar after the first capture.
+``GET /api/run/<campaign>/<seed>/<index>/diff``
+    Golden-vs-faulty differential frames for the same run
+    (:mod:`repro.obs.trace_diff`): per-step register/PC/memory/
+    structure diffs inside a bounded window around injection and
+    crossing, feeding the live page's step-through panel.  Same
+    ``--allow-replay`` gate and sidecar memoization.
 ``GET /metrics``
     Prometheus text exposition of the ``REPRO_METRICS`` registry plus
     the server's own counters (requests, SSE clients, tail lag).
@@ -90,6 +100,9 @@ MAX_BODY_BYTES = 64 * 1024
 _TRACE_PATH = re.compile(
     r"^/api/run/(campaign-[A-Za-z0-9._-]+)/(-?\d+)/(\d+)/trace$")
 
+_DIFF_PATH = re.compile(
+    r"^/api/run/(campaign-[A-Za-z0-9._-]+)/(-?\d+)/(\d+)/diff$")
+
 
 class Observatory:
     """Shared, read-mostly state behind every request handler thread.
@@ -125,6 +138,9 @@ class Observatory:
         self.metrics = MetricsRegistry(enabled=True)
         self.stopping = False
         self._lock = threading.Lock()
+        # serialises cold trace captures so concurrent drill-downs of
+        # the same run simulate once, not once per request thread
+        self._trace_lock = threading.Lock()
         self.drain_grace = drain_grace
         self.queue = None
         self.supervisor = None
@@ -284,30 +300,68 @@ class Observatory:
                 break
         return detail
 
-    def run_trace(self, campaign_id: str, seed: int,
-                  index: int) -> "dict | None":
-        """Replay one run with tracing (the ``--allow-replay`` path).
+    def _diff_payload(self, campaign_id: str, seed: int,
+                      index: int) -> "tuple[dict | None, bool]":
+        """Memoized trace capture: ``(payload, cached)``.
 
         The sidecar supplies the campaign axes; the ``(seed, index)``
         derivation matches the campaign workers bit for bit, so the
-        returned timeline describes exactly the run the campaign
-        classified.
+        returned frames describe exactly the run the campaign
+        classified.  A warm ``trace-<campaign>-<seed>-<index>.json``
+        sidecar is a pure read; a cold one simulates once under the
+        trace lock, persists, and announces itself with a
+        ``trace_ready`` job_update event on the SSE stream.
         """
-        from .tracing import trace_run
+        from .events import EventLog
+        from .trace_diff import load_or_capture
 
         campaign = self.load_campaign(campaign_id)
         if campaign is None:
+            return None, False
+        self.metrics.counter("server.trace_requests").inc()
+        with self._trace_lock:
+            payload, cached = load_or_capture(
+                campaign.injector, campaign.workload,
+                campaign.config_name, seed, index=index,
+                structure=campaign.structure, model=campaign.model,
+                hardened=campaign.hardened,
+                cache_path=self.cache_path, stem=campaign_id)
+        if cached:
+            self.metrics.counter("server.trace_cache_hits").inc()
+        else:
+            EventLog(self.events_path).emit(
+                "job_update",
+                job=f"trace-{campaign_id}-{seed}-{index}",
+                state="trace_ready",
+                label=(f"{campaign.injector}:{campaign.workload} "
+                       f"seed={seed} index={index}"),
+                sidecar=campaign_id)
+        return payload, cached
+
+    def run_trace(self, campaign_id: str, seed: int,
+                  index: int) -> "dict | None":
+        """The legacy ``/trace`` view, rebuilt from the diff sidecar
+        (same memoization as ``/diff``: simulate at most once)."""
+        payload, cached = self._diff_payload(campaign_id, seed, index)
+        if payload is None:
             return None
-        trace, result = trace_run(
-            campaign.injector, campaign.workload,
-            campaign.config_name, seed, index=index,
-            structure=campaign.structure, model=campaign.model,
-            hardened=campaign.hardened)
         return {"campaign": campaign_id,
                 "seed": seed, "index": index,
-                "trace": trace.to_json(),
-                "outcome": result.outcome,
-                "rendered": trace.render()}
+                "cached": cached,
+                "trace": payload["trace"],
+                "outcome": payload["outcome"]["outcome"],
+                "rendered": payload["rendered"]}
+
+    def run_diff(self, campaign_id: str, seed: int,
+                 index: int) -> "dict | None":
+        """The ``/diff`` drill-down: full differential frame payload."""
+        payload, cached = self._diff_payload(campaign_id, seed, index)
+        if payload is None:
+            return None
+        return {"campaign": campaign_id,
+                "seed": seed, "index": index,
+                "cached": cached,
+                "diff": payload}
 
     def summary(self) -> dict:
         """One-shot ``repro report --json`` aggregation of the log."""
@@ -335,6 +389,12 @@ _LIVE_CSS = _CSS + """
                background: #e8f4e8; color: #205020; font-size: 0.85em; }
 #live-status.down { background: #fae4e4; color: #8c1a1a; }
 pre { font: 12px/1.3 ui-monospace, monospace; }
+#trace-panel input { width: 16em; font: inherit; margin: 0 0.4em 0 0; }
+#trace-panel input.num { width: 6em; }
+#trace-panel button { font: inherit; margin-right: 0.3em; }
+#trace-meta { color: #666; margin: 0.5em 0; }
+#trace-view td, #trace-view th { font-family: ui-monospace, monospace;
+                                 font-size: 12px; }
 """
 
 # The browser-side renderer deliberately mirrors the Python section
@@ -487,7 +547,187 @@ _LIVE_JS = """
       status.className = 'down';
     }
   };
+
+  // ---- run drill-down: step through one /diff payload ------------
+  var diff = null, cursor = 0;
+  function hex(v) {
+    if (v === null || v === undefined) { return '-'; }
+    var n = Number(v);
+    return n < 0 ? '-0x' + (-n).toString(16) : '0x' + n.toString(16);
+  }
+  function memTxt(m) {
+    if (!m) { return '-'; }
+    return m[0] + ' ' + hex(m[1]) + ' x' + m[2]
+      + (m[3] === null || m[3] === undefined ? '' : ' = ' + hex(m[3]));
+  }
+  function cell(v, chg) {
+    return (chg ? '<td class="chg">' : '<td>') + esc(v) + '</td>';
+  }
+  function frameChanged(fr) {
+    if (Object.keys(fr.regs || {}).length) { return true; }
+    if (fr.golden_pc !== null && fr.golden_pc !== fr.pc) { return true; }
+    if (JSON.stringify(fr.mem.faulty)
+        !== JSON.stringify(fr.mem.golden)) { return true; }
+    if (fr.structs && fr.structs.golden
+        && JSON.stringify(fr.structs.faulty)
+           !== JSON.stringify(fr.structs.golden)) { return true; }
+    return false;
+  }
+  function renderFrame() {
+    var meta = document.getElementById('trace-meta');
+    var view = document.getElementById('trace-view');
+    if (!diff || !view) { return; }
+    if (!diff.frames.length) {
+      meta.textContent = 'no frames recorded (fault never applied)';
+      view.innerHTML = '';
+      return;
+    }
+    cursor = Math.max(0, Math.min(cursor, diff.frames.length - 1));
+    var fr = diff.frames[cursor];
+    var anchors = [];
+    if (diff.anchors.injected !== null) {
+      anchors.push('injected @ ' + diff.anchors.injected);
+    }
+    if (diff.anchors.crossed !== null) {
+      anchors.push('crossed @ ' + diff.anchors.crossed);
+    }
+    meta.textContent = 'frame ' + (cursor + 1) + '/'
+      + diff.frames.length + ' \\u2014 ' + diff.injector + ':'
+      + diff.workload + '@' + diff.config + ' seed=' + diff.seed
+      + ' index=' + diff.index + ' \\u2014 ' + anchors.join(', ')
+      + ' \\u2014 outcome ' + diff.outcome.outcome
+      + (fr.marks.length ? ' \\u2014 [' + fr.marks.join(', ') + ']'
+                         : '');
+    var rows = ['<table><thead><tr><th>field</th><th>golden</th>'
+                + '<th>faulty</th></tr></thead><tbody>'];
+    rows.push('<tr>' + cell('step', false)
+      + cell(fr.step, false) + cell(fr.step, false) + '</tr>');
+    rows.push('<tr>' + cell(diff.unit, false)
+      + cell(fr.golden_cycle === null ? '-' : fr.golden_cycle, false)
+      + cell(fr.cycle, false) + '</tr>');
+    var pcChg = fr.golden_pc !== null && fr.golden_pc !== fr.pc;
+    rows.push('<tr>' + cell('pc', false)
+      + cell(hex(fr.golden_pc), pcChg)
+      + cell(hex(fr.pc), pcChg) + '</tr>');
+    rows.push('<tr>' + cell('phase / mode', false)
+      + cell('P' + fr.phase + ' ' + (fr.golden_in_kernel
+             ? 'kernel' : 'user'), false)
+      + cell('P' + fr.phase + ' ' + (fr.in_kernel
+             ? 'kernel' : 'user'),
+             fr.golden_in_kernel !== null
+             && fr.golden_in_kernel !== fr.in_kernel) + '</tr>');
+    Object.keys(fr.regs || {}).sort(function (a, b) {
+      return Number(a) - Number(b);
+    }).forEach(function (r) {
+      var name = diff.reg_names[Number(r)] || ('r' + r);
+      rows.push('<tr>' + cell(name, false)
+        + cell(hex(fr.regs[r][0]), true)
+        + cell(hex(fr.regs[r][1]), true) + '</tr>');
+    });
+    var memChg = JSON.stringify(fr.mem.faulty)
+      !== JSON.stringify(fr.mem.golden);
+    if (fr.mem.faulty || fr.mem.golden) {
+      rows.push('<tr>' + cell('mem', false)
+        + cell(memTxt(fr.mem.golden), memChg)
+        + cell(memTxt(fr.mem.faulty), memChg) + '</tr>');
+    }
+    if (fr.structs && fr.structs.golden) {
+      Object.keys(fr.structs.faulty).sort().forEach(function (k) {
+        var g = fr.structs.golden[k], f = fr.structs.faulty[k];
+        if (g !== f) {
+          rows.push('<tr>' + cell(k, false) + cell(g, true)
+            + cell(f, true) + '</tr>');
+        }
+      });
+    }
+    rows.push('</tbody></table>');
+    view.innerHTML = rows.join('');
+  }
+  function loadDiff() {
+    var cid = document.getElementById('trace-campaign').value.trim();
+    var seed = document.getElementById('trace-seed').value.trim();
+    var index = document.getElementById('trace-index').value.trim();
+    var meta = document.getElementById('trace-meta');
+    if (!cid) { meta.textContent = 'enter a campaign id'; return; }
+    meta.textContent = 'loading\\u2026';
+    var req = new XMLHttpRequest();
+    req.open('GET', '/api/run/' + encodeURIComponent(cid) + '/'
+      + (seed || '0') + '/' + (index || '0') + '/diff');
+    req.onload = function () {
+      if (req.status === 403) {
+        meta.textContent = 'replay is gated: restart the observatory '
+          + 'with --allow-replay';
+        return;
+      }
+      if (req.status !== 200) {
+        meta.textContent = 'error ' + req.status + ': '
+          + req.responseText.slice(0, 200);
+        return;
+      }
+      diff = JSON.parse(req.responseText).diff;
+      cursor = 0;
+      if (diff.anchors.injected !== null) {
+        diff.frames.some(function (fr, i) {
+          if (fr.step === diff.anchors.injected) {
+            cursor = i; return true;
+          }
+          return false;
+        });
+      }
+      renderFrame();
+    };
+    req.onerror = function () {
+      meta.textContent = 'request failed';
+    };
+    req.send();
+  }
+  function bind(id, fn) {
+    var el = document.getElementById(id);
+    if (el) { el.addEventListener('click', fn); }
+  }
+  bind('trace-load', loadDiff);
+  bind('trace-prev', function () {
+    if (diff) { cursor -= 1; renderFrame(); }
+  });
+  bind('trace-next', function () {
+    if (diff) { cursor += 1; renderFrame(); }
+  });
+  bind('trace-jump', function () {
+    if (!diff) { return; }
+    for (var i = cursor + 1; i < diff.frames.length; i++) {
+      if (frameChanged(diff.frames[i])) {
+        cursor = i; renderFrame(); return;
+      }
+    }
+  });
 })();
+"""
+
+
+# The step-through drill-down panel: loads one /diff payload and
+# navigates its frames entirely client-side — after the first (gated,
+# memoized) fetch there are no further requests, and never any
+# external ones.
+_TRACE_PANEL = """
+<h2>Run drill-down</h2>
+<div id="trace-panel">
+  <p class="muted">golden-vs-faulty differential frames for one
+  campaign run (needs <code>--allow-replay</code>; simulated at most
+  once, then served from the trace sidecar).</p>
+  <p>
+    <input id="trace-campaign" placeholder="campaign-… id">
+    <input id="trace-seed" class="num" placeholder="seed" value="0">
+    <input id="trace-index" class="num" placeholder="index" value="0">
+    <button id="trace-load">load</button>
+  </p>
+  <p>
+    <button id="trace-prev">&#8592; prev step</button>
+    <button id="trace-next">next step &#8594;</button>
+    <button id="trace-jump">next change &#8677;</button>
+  </p>
+  <div id="trace-meta"></div>
+  <div id="trace-view"></div>
+</div>
 """
 
 
@@ -500,6 +740,7 @@ def render_live_html(data, title: str = "repro live observatory") -> str:
              '<div id="live-status">connecting…</div>',
              f"<h1>{html.escape(title)}</h1>",
              *html_sections(data),
+             _TRACE_PANEL,
              f"<script>{_LIVE_JS}</script>",
              "</body></html>"]
     return "\n".join(parts)
@@ -731,10 +972,11 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
 
     def _serve_trace(self, path: str) -> None:
         match = _TRACE_PATH.match(path)
-        if not match:
+        diff = _DIFF_PATH.match(path) if match is None else None
+        if match is None and diff is None:
             self._send_error_json(
-                404, "trace path is "
-                     "/api/run/<campaign>/<seed>/<index>/trace")
+                404, "run paths are /api/run/<campaign>/<seed>/"
+                     "<index>/trace and .../diff")
             return
         if not self.obs.allow_replay:
             self.obs.metrics.counter("server.replay_denied").inc()
@@ -743,12 +985,13 @@ class ObservatoryHandler(BaseHTTPRequestHandler):
                      "observatory with --allow-replay to enable it")
             return
         self.obs.metrics.counter("server.replays").inc()
-        payload = self.obs.run_trace(match.group(1),
-                                     int(match.group(2)),
-                                     int(match.group(3)))
+        found = match or diff
+        view = self.obs.run_trace if match else self.obs.run_diff
+        payload = view(found.group(1), int(found.group(2)),
+                       int(found.group(3)))
         if payload is None:
             self._send_error_json(404,
-                                  f"no campaign {match.group(1)!r}")
+                                  f"no campaign {found.group(1)!r}")
             return
         self._send_json(payload)
 

@@ -1,0 +1,685 @@
+"""Cycle-level differential traces: golden vs faulty, step by step.
+
+:mod:`repro.obs.tracing` tells the flip's life story in four coarse
+events; this module records the *state* story.  One capture runs the
+faulty simulation (through the exact campaign ``(seed, index)`` replay
+of :func:`repro.obs.tracing.trace_run`) with an ``arch_probe``
+recorder attached, keeping a bounded window of architectural snapshots
+around the injection and the first crossing, then replays the same
+window on a fault-free engine — restored from the golden-fork
+checkpoint store when one is warm, so the golden pass costs a few
+dozen steps instead of a full run — and emits per-step *diff frames*:
+changed registers (old -> new), PC, the touched memory word, pipeline
+structure deltas on the microarchitectural engine, and phase /
+kernel-mode annotations.
+
+Frames are self-contained: each carries the full golden register file
+plus the sparse faulty diff, so replaying the diff onto the golden
+state reconstructs the faulty architectural state exactly (the
+``digest`` field proves it, and the round-trip test pins it).
+
+Captures are expensive (two windowed simulations), so every payload
+lands in a versioned ``trace-<stem>-<seed>-<index>.json`` sidecar and
+:func:`load_or_capture` memoizes through it — a drill-down is
+simulated at most once.  The renderers (``repro trace-fault --diff``,
+the observatory's ``/diff`` route, the dashboard's per-run sections)
+all read the same payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from pathlib import Path
+
+from .profiles import N_PHASES, phase_of
+
+__all__ = [
+    "DEFAULT_AFTER",
+    "DEFAULT_BEFORE",
+    "TRACE_DIFF_SCHEMA_VERSION",
+    "capture_diff",
+    "default_stem",
+    "load_diff",
+    "load_or_capture",
+    "render_diff",
+    "save_diff",
+    "state_digest",
+    "trace_sidecar_path",
+]
+
+#: bump when the frame/payload shape changes; loaders reject mismatches
+TRACE_DIFF_SCHEMA_VERSION = 1
+
+#: window bounds in steps (committed instructions) around each anchor
+DEFAULT_BEFORE = 8
+DEFAULT_AFTER = 24
+
+
+def state_digest(pc: int, regs) -> str:
+    """Canonical digest of one architectural snapshot (pc + registers).
+
+    Computed from the *live faulty engine* at capture time; a reader
+    that applies a frame's register diff onto its ``golden_regs`` and
+    re-digests proves the diff reconstructs the faulty state exactly.
+    """
+    blob = repr((int(pc), tuple(int(r) for r in regs))).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# per-step state snapshots (architectural view of either engine)
+# ---------------------------------------------------------------------------
+def _pipeline_state(engine, step: int) -> dict:
+    rf = engine.rf
+    values, rename = rf.values, rf.rename_map
+    mem = engine.pending_mem
+    if mem is not None:
+        mem = ([mem[0], mem[1], mem[2], mem[3]] if mem[0] == "store"
+               else [mem[0], mem[1], mem[2], None])
+    return {
+        "step": step,
+        "cycle": engine.fetch_time,
+        "pc": engine.ms.pc,
+        "in_kernel": engine.ms.in_kernel,
+        "regs": tuple(values[rename[i]]
+                      for i in range(engine.regs_meta.count)),
+        "mem": mem,
+        "structs": {
+            "rf_live": rf.live_count,
+            "rf_tainted": len(rf.tainted),
+            "lsq": engine.lsq.valid_count,
+            "l1i_lines": engine.l1i.valid_lines,
+            "l1d_lines": engine.l1d.valid_lines,
+            "l2_lines": engine.l2.valid_lines,
+        },
+    }
+
+
+def _functional_state(engine, step: int) -> dict:
+    mem = engine.last_mem
+    if mem is not None:
+        op, addr, nbytes = mem
+        try:
+            value = engine.memory.read_int(addr, nbytes)
+        except Exception:
+            value = None
+        mem = [op, addr, nbytes, value]
+    return {
+        "step": step,
+        "cycle": float(step),
+        "pc": engine.ms.pc,
+        "in_kernel": engine.ms.in_kernel,
+        "regs": tuple(engine.regs),
+        "mem": mem,
+        "structs": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# faulty-pass recorders (arch_probe hooks; must NEVER raise — the run
+# loops wrap any exception in a ContainmentError)
+# ---------------------------------------------------------------------------
+class _FunctionalRecorder:
+    """Windowed snapshot recorder for the functional engines.
+
+    Architectural (pvf/svf) faults cross at birth, so both anchors
+    coincide on the step their action fires.  The hot path is a single
+    ``executed`` compare until the trigger counter comes within
+    ``before`` of firing; only then does the pre-context ring start
+    paying for snapshots.
+    """
+
+    def __init__(self, before: int, after: int) -> None:
+        self.before = before
+        self.after = after
+        self.frames: dict = {}
+        self.marks: dict = {}
+        self._ring: deque = deque(maxlen=before + 1)
+        self._ring_done = False
+        self._armed = False
+        self._record_until = -1
+        self._done = False
+        self._skip_below: "int | None" = None
+
+    def __call__(self, engine) -> None:
+        if self._done:
+            return
+        if self._skip_below is None:
+            # trigger counters never outrun `executed`, so this is a
+            # safe constant-time skip for the bulk of the run
+            whens = [a.when for a in engine._actions] or [0]
+            self._skip_below = max(0, min(whens) - self.before)
+        if engine.executed <= self._skip_below:
+            return
+        step = engine.executed - 1
+        if not self._armed:
+            counters = engine._counters
+            if not any(counters.get(a.counter, 0)
+                       >= max(0, a.when - self.before)
+                       for a in engine._actions):
+                return
+            self._armed = True
+            # the arming step's own memory access predates watch_mem,
+            # so skip its frame rather than record a half-blind one
+            engine.watch_mem = True
+            engine.last_mem = None
+            return
+        if "injected" not in self.marks and engine._actions \
+                and all(engine._counters.get(a.counter, 0) > a.when
+                        for a in engine._actions):
+            # architectural faults are visible the step they land
+            self.marks["injected"] = step
+            self.marks["crossed"] = step
+            self._record_until = step + self.after
+            for prior_step, state in self._ring:
+                self.frames[prior_step] = state
+            self._ring.clear()
+            self._ring_done = True
+        if self._ring_done:
+            if step <= self._record_until:
+                self.frames[step] = _functional_state(engine, step)
+            else:
+                self._done = True
+                engine.watch_mem = False
+            engine.last_mem = None
+            return
+        self._ring.append((step, _functional_state(engine, step)))
+        engine.last_mem = None
+
+
+class _PipelineRecorder:
+    """Windowed snapshot recorder for the pipeline engine.
+
+    Injection and crossing can be far apart (the latent hardware
+    phase), so the recorder windows around each anchor independently:
+    pre-context ring + window at the injection, window-only at a late
+    crossing, and a two-attribute-read watch in between.
+    """
+
+    def __init__(self, before: int, after: int,
+                 cycles_per_instr: float) -> None:
+        self.before = before
+        self.after = after
+        self.frames: dict = {}
+        self.marks: dict = {}
+        self._ring: deque = deque(maxlen=before + 1)
+        self._ring_done = False
+        self._armed = False
+        self._record_until = -1
+        self._done = False
+        self._cpi = max(cycles_per_instr, 1e-9)
+        self._arm_cycle: "float | None" = None
+
+    def _mark(self, kind: str, step: int) -> None:
+        self.marks[kind] = step
+        self._record_until = max(self._record_until, step + self.after)
+        if not self._ring_done:
+            for prior_step, state in self._ring:
+                self.frames.setdefault(prior_step, state)
+            self._ring.clear()
+            self._ring_done = True
+
+    def __call__(self, engine) -> None:
+        if self._done:
+            return
+        if self._arm_cycle is None:
+            cycle = engine.faults[0].cycle if engine.faults else 0.0
+            # generous margin: the ring needs ~`before` instructions
+            # of pre-context before the injection cycle arrives
+            self._arm_cycle = max(
+                0.0, cycle - (self.before + 8) * self._cpi * 1.5)
+        step = engine.instructions - 1
+        if not self._armed:
+            if engine.fetch_time < self._arm_cycle \
+                    and not engine.fault_applied:
+                return
+            self._armed = True
+        if "injected" not in self.marks and engine.fault_applied:
+            self._mark("injected", step)
+        if "crossed" not in self.marks and engine.crossing is not None:
+            self._mark("crossed", step)
+        if step <= self._record_until:
+            self.frames[step] = _pipeline_state(engine, step)
+            return
+        if self._ring_done:
+            # injection window done; keep the cheap crossing watch
+            # alive until the crossing window (if any) also drains
+            if "crossed" in self.marks:
+                self._done = True
+            return
+        self._ring.append((step, _pipeline_state(engine, step)))
+
+
+# ---------------------------------------------------------------------------
+# golden windowed pass (checkpoint restore + early stop)
+# ---------------------------------------------------------------------------
+class _GoldenProbe:
+    """Record exactly the faulty pass's steps on a fault-free engine."""
+
+    def __init__(self, needed, state_fn, functional: bool) -> None:
+        self.needed = frozenset(needed)
+        self.frames: dict = {}
+        self._state = state_fn
+        self._functional = functional
+
+    def __call__(self, engine) -> None:
+        if self._functional:
+            step = engine.executed - 1
+            if step in self.needed:
+                self.frames[step] = self._state(engine, step)
+            engine.last_mem = None
+        else:
+            step = engine.instructions - 1
+            if step in self.needed:
+                self.frames[step] = self._state(engine, step)
+
+
+class _StopAfter:
+    """Fastpath hook ending a golden pass once the window is recorded.
+
+    Early exit must go through the engines' fastpath protocol — an
+    arch_probe that raises would be wrapped in a ContainmentError.
+    The synthesised result is discarded; only the probe's frames
+    matter.
+    """
+
+    def __init__(self, last_step: int, pipeline: bool) -> None:
+        self.next_check = last_step + 1
+        self._pipeline = pipeline
+
+    def poll(self, engine):
+        from ..uarch.functional import FuncResult, RunStatus
+
+        if self._pipeline:
+            from ..uarch.pipeline import PipelineResult
+
+            return PipelineResult(
+                status=RunStatus.COMPLETED, output=b"", exit_code=0,
+                cycles=engine.fetch_time,
+                instructions=engine.instructions,
+                kernel_instructions=engine.kernel_instructions)
+        return FuncResult(status=RunStatus.COMPLETED, output=b"",
+                          exit_code=0, instructions=engine.executed)
+
+
+def _nearest_for_instructions(store, when: int):
+    """Latest checkpoint at-or-before instruction boundary *when*."""
+    best = store.checkpoints[0]
+    for checkpoint in store.checkpoints:
+        if checkpoint.instructions <= when:
+            best = checkpoint
+        else:
+            break
+    return best
+
+
+def _golden_frames(workload: str, config_name: str, hardened: bool,
+                   needed, engine_kind: str, golden) -> dict:
+    """Replay the golden run over exactly the *needed* steps."""
+    if not needed:
+        return {}
+    from ..injectors.golden import checkpoint_store
+    from ..kernel.loader import build_system_image
+    from ..uarch import snapshot
+    from ..uarch.config import config_by_name
+    from ..uarch.functional import FunctionalEngine
+    from ..uarch.pipeline import PipelineEngine
+    from ..workloads.suite import load_workload
+
+    pipeline = engine_kind == "pipeline"
+    config = config_by_name(config_name)
+    program = load_workload(workload, config.isa, hardened=hardened)
+    image = build_system_image(program)
+    if pipeline:
+        engine = PipelineEngine(
+            image, config, max_instructions=golden.max_instructions,
+            max_cycles=golden.max_cycles)
+    else:
+        engine = FunctionalEngine(
+            image,
+            kernel="host" if engine_kind == "functional-host" else "sim",
+            max_instructions=golden.max_instructions)
+        engine.watch_mem = True
+    first, last = min(needed), max(needed)
+    try:
+        store = checkpoint_store(workload, config_name,
+                                 engine=engine_kind, hardened=hardened)
+        checkpoint = _nearest_for_instructions(store, first)
+        if checkpoint.instructions > 0:
+            if pipeline:
+                snapshot.restore_pipeline(engine, checkpoint.state)
+            else:
+                snapshot.restore_functional(engine, checkpoint.state)
+    except Exception:
+        # cold cache / foreign store: replay from reset (correct,
+        # just slower)
+        pass
+    probe = _GoldenProbe(
+        needed, _pipeline_state if pipeline else _functional_state,
+        functional=not pipeline)
+    engine.arch_probe = probe
+    engine.fastpath = _StopAfter(last, pipeline)
+    engine.run()
+    return probe.frames
+
+
+# ---------------------------------------------------------------------------
+# capture: faulty pass + golden pass -> diff frames
+# ---------------------------------------------------------------------------
+_ENGINE_KINDS = {"gefin": "pipeline", "pvf": "functional-sim",
+                 "svf": "functional-host"}
+
+
+def capture_diff(injector: str, workload: str, config_name: str,
+                 seed: int, index: int = 0,
+                 structure: "str | None" = None,
+                 model: "str | None" = None, hardened: bool = False,
+                 before: int = DEFAULT_BEFORE,
+                 after: int = DEFAULT_AFTER) -> dict:
+    """Capture one run's golden-vs-faulty differential trace.
+
+    The faulty pass reuses :func:`repro.obs.tracing.trace_run` (the
+    campaign-identical ``(seed, index)`` derivation) with a windowed
+    recorder attached as the engine's ``arch_probe``; the probe forces
+    the scalar slow path, so the recorded run is the plain
+    from-reset trajectory.  The golden pass then replays only the
+    recorded steps.  Returns the versioned JSON payload.
+    """
+    from ..injectors.golden import golden_run
+    from ..isa.registers import register_set
+    from ..uarch.config import config_by_name
+    from .tracing import trace_run
+
+    engine_kind = _ENGINE_KINDS.get(injector)
+    if engine_kind is None:
+        raise ValueError(f"unknown injector {injector!r}")
+    golden = golden_run(workload, config_name, hardened=hardened)
+    unit = "cycle" if injector == "gefin" else "instruction"
+    if injector == "gefin":
+        cpi = golden.cycles / max(golden.pipe_instructions, 1)
+        recorder = _PipelineRecorder(before, after, cpi)
+    else:
+        recorder = _FunctionalRecorder(before, after)
+    trace, result = trace_run(injector, workload, config_name, seed,
+                              index=index, structure=structure,
+                              model=model, hardened=hardened,
+                              arch_probe=recorder)
+    golden_frames = _golden_frames(workload, config_name, hardened,
+                                   set(recorder.frames), engine_kind,
+                                   golden)
+
+    config = config_by_name(config_name)
+    regs_meta = register_set(config.isa)
+    t_max = golden.cycles if unit == "cycle" \
+        else float(golden.instructions)
+    frames = []
+    for step in sorted(recorder.frames):
+        faulty = recorder.frames[step]
+        gold = golden_frames.get(step)
+        regs_diff = {}
+        if gold is not None:
+            for i, (gv, fv) in enumerate(zip(gold["regs"],
+                                             faulty["regs"])):
+                if gv != fv:
+                    regs_diff[str(i)] = [gv, fv]
+        structs = None
+        if faulty["structs"] is not None:
+            structs = {"faulty": faulty["structs"],
+                       "golden": gold["structs"] if gold else None}
+        frames.append({
+            "step": step,
+            "cycle": faulty["cycle"],
+            "golden_cycle": gold["cycle"] if gold else None,
+            "pc": faulty["pc"],
+            "golden_pc": gold["pc"] if gold else None,
+            "in_kernel": faulty["in_kernel"],
+            "golden_in_kernel": gold["in_kernel"] if gold else None,
+            "phase": phase_of(
+                faulty["cycle"] if unit == "cycle" else float(step),
+                t_max, N_PHASES),
+            "regs": regs_diff,
+            "golden_regs": list(gold["regs"]) if gold else None,
+            "mem": {"faulty": faulty["mem"],
+                    "golden": gold["mem"] if gold else None},
+            "structs": structs,
+            "marks": sorted(kind for kind, at in recorder.marks.items()
+                            if at == step),
+            "digest": state_digest(faulty["pc"], faulty["regs"]),
+        })
+
+    from dataclasses import asdict
+
+    return {
+        "schema": TRACE_DIFF_SCHEMA_VERSION,
+        "kind": "trace-diff",
+        "injector": injector,
+        "workload": workload,
+        "config": config_name,
+        "structure": structure,
+        "model": model,
+        "hardened": hardened,
+        "seed": seed,
+        "index": index,
+        "unit": unit,
+        "window": {"before": before, "after": after},
+        "anchors": {"injected": recorder.marks.get("injected"),
+                    "crossed": recorder.marks.get("crossed")},
+        "t_max": t_max,
+        "n_phases": N_PHASES,
+        "reg_names": [regs_meta.name(i)
+                      for i in range(regs_meta.count)],
+        "frames": frames,
+        "outcome": asdict(result),
+        "trace": trace.to_json(),
+        "rendered": trace.render(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# the sidecar store (memoization: simulate at most once)
+# ---------------------------------------------------------------------------
+def default_stem(injector: str, workload: str, config_name: str,
+                 structure: "str | None" = None,
+                 model: "str | None" = None,
+                 hardened: bool = False) -> str:
+    """Descriptive sidecar stem for CLI captures (the observatory
+    uses the campaign id instead)."""
+    parts = [injector, workload, config_name]
+    target = structure or model
+    if target:
+        parts.append(target)
+    if hardened:
+        parts.append("ft")
+    return "-".join(parts)
+
+
+def trace_sidecar_path(stem: str, seed: int, index: int,
+                       cache_path: "Path | str | None" = None) -> Path:
+    from ..injectors.golden import cache_dir
+
+    base = Path(cache_path) if cache_path else cache_dir()
+    return base / f"trace-{stem}-{seed}-{index}.json"
+
+
+def save_diff(payload: dict, path: "Path | str") -> None:
+    from ..injectors.engine import atomic_write_text
+
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+
+def load_diff(path: "Path | str") -> "dict | None":
+    """Parse one trace sidecar; ``None`` on absence, corruption or a
+    schema mismatch (the cache directory is shared mutable state)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (ValueError, OSError):
+        return None
+    if not isinstance(data, dict) \
+            or data.get("kind") != "trace-diff" \
+            or data.get("schema") != TRACE_DIFF_SCHEMA_VERSION \
+            or not isinstance(data.get("frames"), list):
+        return None
+    return data
+
+
+def load_or_capture(injector: str, workload: str, config_name: str,
+                    seed: int, index: int = 0, *,
+                    structure: "str | None" = None,
+                    model: "str | None" = None,
+                    hardened: bool = False,
+                    before: int = DEFAULT_BEFORE,
+                    after: int = DEFAULT_AFTER,
+                    cache_path: "Path | str | None" = None,
+                    stem: "str | None" = None) -> tuple:
+    """Memoized capture front door: ``(payload, cached)``.
+
+    A warm sidecar short-circuits both simulation passes; a cold one
+    captures once and persists atomically, so concurrent callers race
+    benignly.
+    """
+    stem = stem or default_stem(injector, workload, config_name,
+                                structure=structure, model=model,
+                                hardened=hardened)
+    path = trace_sidecar_path(stem, seed, index, cache_path)
+    payload = load_diff(path)
+    if payload is not None:
+        return payload, True
+    payload = capture_diff(injector, workload, config_name, seed,
+                           index=index, structure=structure,
+                           model=model, hardened=hardened,
+                           before=before, after=after)
+    save_diff(payload, path)
+    return payload, False
+
+
+# ---------------------------------------------------------------------------
+# ANSI rendering (``repro trace-fault --diff``)
+# ---------------------------------------------------------------------------
+def _coerce_mode(color) -> str:
+    if color is True:
+        return "256"
+    if color is False or color is None:
+        return "off"
+    return color
+
+
+def _hl(text: str, mode: str) -> str:
+    if mode == "off":
+        return text
+    if mode == "256":
+        return f"\x1b[38;5;196m{text}\x1b[0m"
+    return f"\x1b[1;31m{text}\x1b[0m"
+
+
+def _fmt_step_time(value: float) -> str:
+    return f"{value:.0f}" if float(value).is_integer() \
+        else f"{value:.1f}"
+
+
+def _fmt_mem(access) -> str:
+    if not access:
+        return "-"
+    op, addr, nbytes, value = access
+    text = f"{op} {addr:#010x} x{nbytes}"
+    if value is not None:
+        text += f" = {value:#x}"
+    return text
+
+
+def frame_diverges(frame: dict) -> bool:
+    """Whether a frame shows any golden-vs-faulty divergence."""
+    if frame["regs"]:
+        return True
+    if frame["golden_pc"] is not None \
+            and frame["golden_pc"] != frame["pc"]:
+        return True
+    if frame["mem"]["faulty"] != frame["mem"]["golden"]:
+        return True
+    structs = frame.get("structs")
+    if structs and structs.get("golden") is not None \
+            and structs["faulty"] != structs["golden"]:
+        return True
+    return False
+
+
+def render_diff(payload: dict, color="off") -> str:
+    """Render one diff payload as ANSI/plain text, changed fields
+    highlighted (*color* from ``resolve_color_mode``)."""
+    mode = _coerce_mode(color)
+    target = payload.get("structure") or payload.get("model") or "-"
+    head = (f"trace diff: {payload['injector']}:{payload['workload']}"
+            f"@{payload['config']}/{target} "
+            f"seed={payload['seed']} index={payload['index']}")
+    lines = [head, "=" * len(head)]
+    unit = payload["unit"]
+    window = payload["window"]
+    lines.append(f"window     : {window['before']} before / "
+                 f"{window['after']} after ({unit} steps)")
+    anchors = payload["anchors"]
+    anchor_parts = [f"{kind} @ step {anchors[kind]}"
+                    for kind in ("injected", "crossed")
+                    if anchors.get(kind) is not None]
+    lines.append("anchors    : "
+                 + (", ".join(anchor_parts) if anchor_parts
+                    else "none (fault never applied)"))
+    outcome = payload["outcome"]
+    diverging = sum(1 for frame in payload["frames"]
+                    if frame_diverges(frame))
+    outcome_text = outcome["outcome"]
+    if outcome.get("crash_kind"):
+        outcome_text += f" ({outcome['crash_kind']})"
+    lines.append(f"outcome    : {outcome_text} — "
+                 f"{len(payload['frames'])} frames, "
+                 f"{diverging} diverging")
+    if not payload["frames"]:
+        lines.append("frames     : none recorded")
+        return "\n".join(lines)
+    lines.append("frames     :")
+    names = payload.get("reg_names") or []
+    step_width = max(len(str(frame["step"]))
+                     for frame in payload["frames"])
+    for frame in payload["frames"]:
+        marks = (f"  [{', '.join(frame['marks'])}]"
+                 if frame["marks"] else "")
+        mode_text = "kernel" if frame["in_kernel"] else "user"
+        head = (f"  @{frame['step']:>{step_width}}  {unit} "
+                f"{_fmt_step_time(frame['cycle'])}  "
+                f"pc {frame['pc']:#010x}  P{frame['phase']} "
+                f"{mode_text}")
+        if marks:
+            head += _hl(marks, mode)
+        if not frame_diverges(frame):
+            lines.append(head + "  (no divergence)")
+            continue
+        lines.append(head)
+        if frame["golden_pc"] is not None \
+                and frame["golden_pc"] != frame["pc"]:
+            lines.append("      pc      " + _hl(
+                f"{frame['golden_pc']:#010x} -> {frame['pc']:#010x}",
+                mode))
+        for index_str in sorted(frame["regs"], key=int):
+            old, new = frame["regs"][index_str]
+            reg = int(index_str)
+            name = names[reg] if reg < len(names) else f"r{reg}"
+            lines.append(f"      {name:<7} "
+                         + _hl(f"{old:#x} -> {new:#x}", mode))
+        faulty_mem = frame["mem"]["faulty"]
+        golden_mem = frame["mem"]["golden"]
+        if faulty_mem or golden_mem:
+            text = (f"      mem     golden {_fmt_mem(golden_mem)}  "
+                    f"faulty {_fmt_mem(faulty_mem)}")
+            lines.append(_hl(text, mode)
+                         if faulty_mem != golden_mem else text)
+        structs = frame.get("structs")
+        if structs and structs.get("golden"):
+            changed = [
+                f"{key} {structs['golden'][key]}"
+                f"->{structs['faulty'][key]}"
+                for key in sorted(structs["faulty"])
+                if structs["faulty"][key] != structs["golden"][key]]
+            if changed:
+                lines.append("      structs "
+                             + _hl(", ".join(changed), mode))
+    return "\n".join(lines)

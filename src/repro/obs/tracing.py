@@ -33,6 +33,11 @@ __all__ = [
 ]
 
 
+def _format_cycle(cycle: float) -> str:
+    """Integral cycle counts render without a spurious ``.1``."""
+    return f"{cycle:.0f}" if float(cycle).is_integer() else f"{cycle:.1f}"
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One step of a fault's propagation, stamped in cycles."""
@@ -41,8 +46,11 @@ class TraceEvent:
     kind: str      # "injected" / "landed" / "crossed" / "outcome"
     detail: str
 
-    def render(self) -> str:
-        return f"  @{self.cycle:>12.1f}  {self.kind:<9}  {self.detail}"
+    def render(self, width: int = 0) -> str:
+        # width comes from the enclosing timeline so columns align
+        # without a fixed field that long campaigns overflow
+        return (f"  @{_format_cycle(self.cycle):>{width}}  "
+                f"{self.kind:<9}  {self.detail}")
 
 
 class FaultTracer:
@@ -158,7 +166,9 @@ class FaultTrace:
             lines.append(f"run length : {self.cycles:.1f} cycles")
         if self.events:
             lines.append("timeline   :")
-            lines.extend(e.render() for e in self.events)
+            width = max(len(_format_cycle(e.cycle))
+                        for e in self.events)
+            lines.extend(e.render(width) for e in self.events)
         return "\n".join(lines)
 
 
@@ -181,12 +191,14 @@ def _describe_spec(spec) -> str:
 
 def trace_fault(workload: str, config_name: str, structure: str,
                 seed: int, index: int = 0, hardened: bool = False,
-                prefer_live: bool = True):
+                prefer_live: bool = True, arch_probe=None):
     """Replay campaign run ``(seed, index)`` with tracing enabled.
 
     Derives the fault spec exactly as the gefin campaign worker does,
     so the returned ``(FaultTrace, InjectionResult)`` matches the
     classification the campaign path produced for the same run.
+    *arch_probe* is forwarded to the engine (used by
+    :mod:`repro.obs.trace_diff` to snapshot state per step).
     """
     import random
 
@@ -205,7 +217,8 @@ def trace_fault(workload: str, config_name: str, structure: str,
     tracer = FaultTracer()
     tracer.injected(spec.cycle, _describe_spec(spec))
     result = run_one_injection(workload, config, spec, golden,
-                               hardened=hardened, tracer=tracer)
+                               hardened=hardened, tracer=tracer,
+                               arch_probe=arch_probe)
     tracer.outcome(result.cycles,
                    result.outcome
                    + (f" ({result.crash_kind})"
@@ -236,7 +249,7 @@ def _first_crossing_site(tracer: FaultTracer) -> str:
 
 def _trace_functional(injector: str, workload: str, config_name: str,
                       model: str | None, seed: int, index: int,
-                      hardened: bool):
+                      hardened: bool, arch_probe=None):
     """Shared PVF/SVF replay: architecture-level faults cross at birth."""
     import random
 
@@ -255,13 +268,15 @@ def _trace_functional(injector: str, workload: str, config_name: str,
                                   config_name, index)))
         action = build_pvf_action(model, rng, golden, xlen)
         result = run_one_pvf(workload, config.isa, action, golden,
-                             hardened=hardened, tracer=tracer)
+                             hardened=hardened, tracer=tracer,
+                             arch_probe=arch_probe)
     else:
         rng = random.Random(repr((seed, "svf", workload, config_name,
                                   index)))
         action = _dest_flip_action(rng, golden, xlen)
         result = run_one_svf(workload, config.isa, action, golden,
-                             hardened=hardened, tracer=tracer)
+                             hardened=hardened, tracer=tracer,
+                             arch_probe=arch_probe)
     origin = getattr(action, "origin", "architectural state")
     tracer.outcome(result.cycles,
                    result.outcome
@@ -284,39 +299,49 @@ def _trace_functional(injector: str, workload: str, config_name: str,
 
 def trace_fault_arch(workload: str, config_name: str, model: str,
                      seed: int, index: int = 0,
-                     hardened: bool = False):
+                     hardened: bool = False, arch_probe=None):
     """Replay one architecture-level (PVF) campaign run with tracing."""
     return _trace_functional("pvf", workload, config_name, model,
-                             seed, index, hardened)
+                             seed, index, hardened,
+                             arch_probe=arch_probe)
 
 
 def trace_fault_soft(workload: str, config_name: str, seed: int,
-                     index: int = 0, hardened: bool = False):
+                     index: int = 0, hardened: bool = False,
+                     arch_probe=None):
     """Replay one software-level (SVF/LLFI) campaign run with tracing."""
     return _trace_functional("svf", workload, config_name, None,
-                             seed, index, hardened)
+                             seed, index, hardened,
+                             arch_probe=arch_probe)
 
 
 def trace_run(injector: str, workload: str, config_name: str,
               seed: int, index: int = 0, structure: str | None = None,
-              model: str | None = None, hardened: bool = False):
+              model: str | None = None, hardened: bool = False,
+              arch_probe=None):
     """Dispatch to the right replay entry point for *injector*.
 
     The single front door the CLI and the observatory's drill-down
     endpoint share: gefin needs *structure*, pvf needs *model*, svf
-    needs neither.  Returns ``(FaultTrace, InjectionResult)``.
+    needs neither.  Returns ``(FaultTrace, InjectionResult)``.  Both
+    a tracer and an *arch_probe* force the scalar slow path, so the
+    replayed trajectory is the plain from-reset one regardless of
+    ``REPRO_FASTPATH``/``REPRO_BATCH``.
     """
     if injector == "gefin":
         if not structure:
             raise ValueError("gefin traces need a structure")
         return trace_fault(workload, config_name, structure, seed,
-                           index=index, hardened=hardened)
+                           index=index, hardened=hardened,
+                           arch_probe=arch_probe)
     if injector == "pvf":
         if not model:
             raise ValueError("pvf traces need a model")
         return trace_fault_arch(workload, config_name, model, seed,
-                                index=index, hardened=hardened)
+                                index=index, hardened=hardened,
+                                arch_probe=arch_probe)
     if injector == "svf":
         return trace_fault_soft(workload, config_name, seed,
-                                index=index, hardened=hardened)
+                                index=index, hardened=hardened,
+                                arch_probe=arch_probe)
     raise ValueError(f"unknown injector {injector!r}")

@@ -131,6 +131,8 @@ class _FunctionalCore(CoreAccess):
                                    kernel_mode=engine.ms.in_kernel)
         if engine.profile is not None:
             engine.profile.mem_footprint.add(addr & ~7)
+        if engine.watch_mem:
+            engine.last_mem = ("load", addr, nbytes)
         return engine.memory.read_int(addr, nbytes, signed)
 
     def store(self, addr: int, nbytes: int, value: int) -> None:
@@ -139,6 +141,8 @@ class _FunctionalCore(CoreAccess):
                                    kernel_mode=engine.ms.in_kernel)
         if engine.profile is not None:
             engine.profile.mem_footprint.add(addr & ~7)
+        if engine.watch_mem:
+            engine.last_mem = ("store", addr, nbytes)
         engine.memory.write_int(addr, value, nbytes)
 
 
@@ -171,6 +175,12 @@ class FunctionalEngine:
         #: optional cosimulation hook (see repro.fuzz.oracle): called
         #: with the engine after every executed instruction
         self.arch_probe = None
+        #: when True, the core records each memory access as
+        #: ``("load"|"store", addr, nbytes)`` in ``last_mem`` (an
+        #: arch_probe consumer clears it per step); off by default so
+        #: the hot path stays a single attribute test
+        self.watch_mem = False
+        self.last_mem = None
         #: optional checkpoint hook (see repro.uarch.snapshot): an
         #: object with ``next_check`` (executed-instruction count) and
         #: ``poll(engine)``; polled at the top of the run loop, and a

@@ -172,6 +172,14 @@ _CAMPAIGN_KEYS = {"id", "injector", "workload", "config", "target",
                   "planned", "schema", "stale"}
 
 
+def _rf_gefin_sha(sidecars):
+    """The fixture bag's gefin sha/RF campaign id (a real replayable
+    target: seed 7 index 0 is the pinned trace_diff run)."""
+    return next(p.stem
+                for p in sorted(sidecars.glob("campaign-gefin-sha-*"))
+                if json.loads(p.read_text())["structure"] == "RF")
+
+
 # ---------------------------------------------------------------------------
 # the replay gate
 # ---------------------------------------------------------------------------
@@ -209,6 +217,58 @@ class TestReplayGate:
             with pytest.raises(urllib.error.HTTPError) as err:
                 _get(base + "/api/run/campaign-nope/1/0/trace")
             assert err.value.code == 404
+
+    def test_diff_is_403_by_default(self, sidecars):
+        cid = next(sidecars.glob("campaign-gefin-*.json")).stem
+        with _serving(sidecars) as (server, base):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"{base}/api/run/{cid}/1/0/diff")
+            assert err.value.code == 403
+            assert "--allow-replay" in \
+                json.loads(err.value.read())["error"]
+            denied = server.observatory.metrics.counter(
+                "server.replay_denied")
+            assert denied.value == 1
+
+    def test_diff_serves_and_memoizes(self, sidecars):
+        cid = _rf_gefin_sha(sidecars)
+        with _serving(sidecars, allow_replay=True) as (server, base):
+            first = _get_json(f"{base}/api/run/{cid}/7/0/diff")
+            second = _get_json(f"{base}/api/run/{cid}/7/0/diff")
+            metrics = server.observatory.metrics
+            assert metrics.counter("server.trace_requests").value == 2
+            assert metrics.counter("server.trace_cache_hits").value \
+                == 1
+            exposition = _get(base + "/metrics")[2].decode()
+        assert first["cached"] is False and second["cached"] is True
+        assert first["diff"] == second["diff"]
+        diff = first["diff"]
+        assert diff["kind"] == "trace-diff"
+        assert diff["injector"] == "gefin"
+        assert diff["structure"] == "RF"
+        assert diff["seed"] == 7 and diff["index"] == 0
+        assert diff["frames"]
+        # the sidecar lands next to the campaign, named by its id, so
+        # every later server (and the dashboard) reuses it
+        assert (sidecars / f"trace-{cid}-7-0.json").exists()
+        # the cold capture announced itself on the event stream
+        assert "trace_ready" in \
+            (sidecars / "events.jsonl").read_text()
+        assert "repro_server_trace_requests_total 2" in exposition
+        assert "repro_server_trace_cache_hits_total 1" in exposition
+
+    def test_trace_and_diff_share_the_sidecar(self, sidecars):
+        # either drill-down view warms the other: one simulation total
+        cid = _rf_gefin_sha(sidecars)
+        with _serving(sidecars, allow_replay=True) as (server, base):
+            diff = _get_json(f"{base}/api/run/{cid}/7/0/diff")
+            trace = _get_json(f"{base}/api/run/{cid}/7/0/trace")
+            hits = server.observatory.metrics.counter(
+                "server.trace_cache_hits")
+            assert hits.value == 1
+        assert diff["cached"] is False and trace["cached"] is True
+        assert trace["rendered"].startswith("fault trace:")
+        assert trace["outcome"] == diff["diff"]["outcome"]["outcome"]
 
 
 # ---------------------------------------------------------------------------
@@ -431,6 +491,38 @@ class TestNoSimulation:
         assert render_live_html(
             build_dashboard(cache_path=sidecars,
                             events_path=sidecars / "events.jsonl"))
+
+    def test_warm_drilldown_never_resimulates(self, sidecars,
+                                              monkeypatch):
+        # the acceptance bar: once the trace sidecar exists, both
+        # drill-down views render entirely from it — poison every
+        # simulation entry point and serve anyway
+        cid = _rf_gefin_sha(sidecars)
+        observatory = Observatory(cache_path=sidecars,
+                                  allow_replay=True)
+        cold = observatory.run_diff(cid, 7, 0)
+        assert cold["cached"] is False
+
+        import repro.injectors.golden as golden_mod
+        import repro.uarch.functional as functional_mod
+        import repro.uarch.pipeline as pipeline_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm drill-down ran a simulation")
+
+        monkeypatch.setattr(golden_mod, "golden_run", boom)
+        monkeypatch.setattr(pipeline_mod, "run_pipeline", boom)
+        monkeypatch.setattr(pipeline_mod.PipelineEngine, "run", boom)
+        monkeypatch.setattr(functional_mod, "run_functional", boom)
+        monkeypatch.setattr(functional_mod.FunctionalEngine, "run",
+                            boom)
+
+        warm = observatory.run_diff(cid, 7, 0)
+        assert warm["cached"] is True
+        assert warm["diff"] == cold["diff"]
+        trace = observatory.run_trace(cid, 7, 0)
+        assert trace["cached"] is True
+        assert trace["rendered"].startswith("fault trace:")
 
     def test_serving_leaves_sidecars_untouched(self, sidecars):
         # byte-identical sidecars with the server attached or not
